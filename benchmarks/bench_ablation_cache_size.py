@@ -1,0 +1,84 @@
+"""Ablation: segment cache size (paper §6.4 / §10).
+
+The cache-line limit is fixed at mkfs; the paper flags dynamic sizing as
+future work.  This sweep shows what is at stake: a working set of
+tertiary segments re-accessed in rounds, under caches smaller than,
+equal to, and larger than the working set.
+
+Metric: demand fetches over the re-access rounds.
+"""
+
+import os
+
+import pytest
+
+from tests.conftest import HLBed
+from repro.core.highlight import HighLightConfig
+from repro.util.units import KB, MB
+
+WORKING_SET = 6       # tertiary segments the workload cycles over
+ROUNDS = 3
+SIZES = [2, WORKING_SET, WORKING_SET * 2]
+
+
+def _run_size(max_lines: int) -> int:
+    bed = HLBed(disk_bytes=192 * MB, n_platters=8,
+                config=HighLightConfig(ncachesegs=max_lines))
+    fs, app = bed.fs, bed.app
+    paths = []
+    for i in range(WORKING_SET):
+        path = f"/ws{i}"
+        fs.write_path(path, os.urandom(254 * 4096))
+        paths.append(path)
+    fs.checkpoint()
+    app.sleep(100)
+    for path in paths:
+        bed.migrator.migrate_file(path)
+    bed.migrator.flush()
+    fs.service.flush_cache(app)
+    fs.drop_caches(drop_inodes=True)
+    fetches0 = fs.stats.demand_fetches
+    for _round in range(ROUNDS):
+        for path in paths:
+            fs.drop_caches()
+            fs.read_path(path, 0, 8 * KB)
+    return fs.stats.demand_fetches - fetches0
+
+
+RESULTS = {}
+
+
+def _sweep():
+    for size in SIZES:
+        if size not in RESULTS:
+            RESULTS[size] = _run_size(size)
+    return dict(RESULTS)
+
+
+def test_ablation_cache_size_report(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print("\nablation: cache size vs demand fetches "
+          f"(working set {WORKING_SET} segments, {ROUNDS} rounds)")
+    for size in SIZES:
+        print(f"  {size:>3} lines: {results[size]} fetches")
+
+
+def test_fetches_monotone_in_cache_size(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = _sweep()
+    counts = [results[s] for s in SIZES]
+    assert counts == sorted(counts, reverse=True) or \
+        counts[0] > counts[-1], f"expected fewer fetches as cache grows: {counts}"
+
+
+def test_big_enough_cache_fetches_once(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = _sweep()
+    # A cache holding the whole working set fetches each segment once.
+    assert results[WORKING_SET * 2] <= WORKING_SET + 1
+
+
+def test_tiny_cache_thrashes(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = _sweep()
+    assert results[2] >= WORKING_SET * (ROUNDS - 1)

@@ -1,0 +1,108 @@
+"""Ablation: cache ejection policies (paper §5.4 and §10).
+
+Compares LRU, random, and the Future-Work "least-worthy" (nearly-MRU)
+ejection under two access patterns:
+
+* a re-use pattern with a working set — LRU should beat random;
+* a hot working set disturbed by a one-shot sequential sweep — the
+  least-worthy policy should protect the hot lines from the sweep, doing
+  no worse than LRU.
+
+Metric: demand fetches (fewer = better).
+"""
+
+import os
+
+import pytest
+
+from tests.conftest import HLBed
+from repro.core.policies.ejection import (LeastWorthyEjection, LRUEjection,
+                                          RandomEjection)
+from repro.core.segcache import SegmentCache
+from repro.util.units import KB, MB
+
+HOT_FILES = 3
+SWEEP_FILES = 8
+
+
+def _build_bed(policy):
+    bed = HLBed(disk_bytes=192 * MB, n_platters=8,
+                platter_bytes=40 * MB)
+    bed.fs.cache = SegmentCache(bed.fs, max_lines=HOT_FILES + 1,
+                                ejection_policy=policy)
+    bed.fs.driver.cache = bed.fs.cache
+    bed.fs.service.cache = bed.fs.cache
+    fs, app = bed.fs, bed.app
+    paths = {}
+    for i in range(HOT_FILES):
+        paths[f"/hot{i}"] = os.urandom(254 * 4096)  # one segment each
+    for i in range(SWEEP_FILES):
+        paths[f"/sweep{i}"] = os.urandom(254 * 4096)
+    for path, payload in paths.items():
+        fs.write_path(path, payload)
+    fs.checkpoint()
+    app.sleep(100)
+    for path in paths:
+        bed.migrator.migrate_file(path)
+    bed.migrator.flush()
+    fs.service.flush_cache(app)
+    fs.drop_caches(drop_inodes=True)
+    return bed, paths
+
+
+def _hot_sweep_workload(bed):
+    """Warm the hot set, run a one-shot sweep, then re-touch the hot set."""
+    fs = bed.fs
+    for _round in range(2):           # hot lines earn promotion
+        for i in range(HOT_FILES):
+            fs.drop_caches()
+            fs.read_path(f"/hot{i}", 0, 8 * KB)
+    fetches_before = fs.stats.demand_fetches
+    for i in range(SWEEP_FILES):      # the cache-hostile sweep
+        fs.drop_caches()
+        fs.read_path(f"/sweep{i}", 0, 8 * KB)
+    for _round in range(3):           # does the hot set survive?
+        for i in range(HOT_FILES):
+            fs.drop_caches()
+            fs.read_path(f"/hot{i}", 0, 8 * KB)
+    return fs.stats.demand_fetches - fetches_before
+
+
+RESULTS = {}
+
+
+def _run(name, policy_factory):
+    if name not in RESULTS:
+        bed, _ = _build_bed(policy_factory())
+        RESULTS[name] = _hot_sweep_workload(bed)
+    return RESULTS[name]
+
+
+def test_ablation_ejection_report(benchmark):
+    def run_all():
+        return {name: _run(name, factory) for name, factory in (
+            ("lru", LRUEjection),
+            ("random", lambda: RandomEjection(seed=11)),
+            ("least_worthy", LeastWorthyEjection))}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print("\nablation: demand fetches under hot-set + sweep workload")
+    for name, fetches in results.items():
+        print(f"  {name:>14}: {fetches} fetches")
+    assert all(v > 0 for v in results.values())
+
+
+def test_least_worthy_protects_hot_set(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lru = _run("lru", LRUEjection)
+    lw = _run("least_worthy", LeastWorthyEjection)
+    # The nearly-MRU hybrid must not lose to LRU when a one-shot sweep
+    # tries to flush the promoted hot lines.
+    assert lw <= lru, f"least-worthy {lw} vs LRU {lru}"
+
+
+def test_lru_not_worse_than_random_on_reuse(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lru = _run("lru", LRUEjection)
+    rnd = _run("random", lambda: RandomEjection(seed=11))
+    assert lru <= rnd * 1.5, f"LRU {lru} vs random {rnd}"

@@ -1,0 +1,20 @@
+"""Figures 1-5: executable structural reproductions.
+
+Each paper figure is an architecture/layout diagram; these benchmarks
+build the live system, render the same structure, and assert the layout
+invariants the figure depicts.
+"""
+
+import pytest
+
+from repro.bench import figures
+
+
+@pytest.mark.parametrize("fig", figures.ALL_FIGURES,
+                         ids=lambda f: f.__name__)
+def test_figure(benchmark, fig):
+    result = benchmark.pedantic(fig, rounds=1, iterations=1)
+    print()
+    print(result)
+    failed = {k: v for k, v in result.facts.items() if not v}
+    assert not failed, f"{result.title}: facts failed: {failed}"

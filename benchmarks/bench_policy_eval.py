@@ -1,0 +1,48 @@
+"""The paper's §9 future work: evaluate the candidate migration policies.
+
+Runs the trace-driven harness over the §5 candidates on one simulated
+Sequoia-like site and checks the expected ordering: at comparable disk
+space freed, the smarter rankings suffer fewer reactivation fetches.
+"""
+
+import pytest
+from conftest import print_report
+
+from repro.bench.policy_eval import (SiteSpec, compare_policies,
+                                     render_comparison)
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def results():
+    if "data" not in _RESULTS:
+        _RESULTS["data"] = compare_policies(SiteSpec())
+    return _RESULTS["data"]
+
+
+def test_policy_eval_report(benchmark, results):
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    print()
+    print(render_comparison(results))
+    assert set(results) == {"stp", "access-time", "namespace"}
+
+
+def test_every_policy_freed_disk_space(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name, r in results.items():
+        assert r.files_migrated > 0, name
+        assert r.disk_freed > 0, name
+
+
+def test_stp_not_worse_than_access_time(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert results["stp"].demand_fetches <= \
+        results["access-time"].demand_fetches
+
+
+def test_latency_tracks_fetches(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ordered = sorted(results.values(), key=lambda r: r.demand_fetches)
+    assert ordered[0].mean_read_latency <= \
+        ordered[-1].mean_read_latency * 1.05

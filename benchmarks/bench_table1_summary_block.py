@@ -1,0 +1,34 @@
+"""Table 1: partial-segment summary block layout.
+
+Regenerates the field-size table from the live serialiser and asserts the
+on-media widths match the paper exactly.
+"""
+
+from conftest import print_report
+
+from repro.bench.tables import PAPER_TABLE1, run_table1
+
+
+def test_table1_summary_layout(benchmark):
+    measured, report = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print_report(report)
+    for key, paper_val in PAPER_TABLE1.items():
+        assert measured[key] == paper_val, (
+            f"summary field {key}: measured {measured[key]}B, "
+            f"paper {paper_val}B")
+
+
+def test_table1_summary_roundtrip_sizes(benchmark):
+    """The packed summary really occupies the configured summary size."""
+    from repro.lfs.summary import FileInfo, SegmentSummary
+
+    def pack_both():
+        summary = SegmentSummary(
+            finfos=[FileInfo(ino=7, lastlength=4096, blocks=[0, 1, 2])],
+            inode_daddrs=[500])
+        return (summary.pack(512), summary.pack(4096))
+
+    lfs_sized, hl_sized = benchmark.pedantic(pack_both, rounds=1,
+                                             iterations=1)
+    assert len(lfs_sized) == 512      # base 4.4BSD LFS summary
+    assert len(hl_sized) == 4096      # HighLight summary (4 KB pointers)

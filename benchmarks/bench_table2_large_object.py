@@ -1,0 +1,91 @@
+"""Table 2: the Stonebraker/Olson large-object benchmark.
+
+Runs all six phases at full paper scale (51.2 MB object, 12,500 frames)
+against FFS, base LFS, HighLight with on-disk files, and HighLight with
+migrated-but-cached files, then asserts the paper's qualitative shape:
+
+* FFS wins sequential writes (LFS pays the staging copy);
+* LFS/HighLight win random and 80/20 writes by a wide margin (batched
+  log appends versus a seek per frame);
+* random reads are seek-bound and close across systems;
+* HighLight is within a few percent of base LFS everywhere;
+* HighLight in-cache is indistinguishable from on-disk.
+"""
+
+import pytest
+from conftest import print_report
+
+from repro.bench.tables import TABLE2_PHASES, run_table2
+from repro.util.units import KB
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def table2_results():
+    if "data" not in _RESULTS:
+        results, report = run_table2()
+        print_report(report)
+        _RESULTS["data"] = results
+    return _RESULTS["data"]
+
+
+def _rate(results, config, phase_name):
+    index = TABLE2_PHASES.index(phase_name)
+    return results[config][index].throughput / KB
+
+
+def test_table2_runs_all_configs(benchmark, table2_results):
+    benchmark.pedantic(lambda: table2_results, rounds=1, iterations=1)
+    assert set(table2_results) == {"ffs", "lfs", "hl-ondisk", "hl-incache"}
+    for config, phases in table2_results.items():
+        assert len(phases) == 6
+
+
+def test_ffs_wins_sequential_write(benchmark, table2_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ffs = _rate(table2_results, "ffs", "10MB sequential write")
+    lfs = _rate(table2_results, "lfs", "10MB sequential write")
+    assert ffs > lfs * 1.3, (
+        f"FFS should beat LFS on sequential writes (staging copy): "
+        f"{ffs:.0f} vs {lfs:.0f} KB/s")
+
+
+def test_lfs_wins_random_write(benchmark, table2_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ffs = _rate(table2_results, "ffs", "1MB random write")
+    lfs = _rate(table2_results, "lfs", "1MB random write")
+    assert lfs > ffs * 1.5, (
+        f"LFS should beat FFS on random writes (log batching): "
+        f"{lfs:.0f} vs {ffs:.0f} KB/s")
+
+
+def test_random_reads_seek_bound_everywhere(benchmark, table2_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rates = {c: _rate(table2_results, c, "1MB random read")
+             for c in table2_results}
+    seq = _rate(table2_results, "ffs", "10MB sequential read")
+    for config, rate in rates.items():
+        assert rate < seq / 3, f"{config} random read should be seek-bound"
+    assert max(rates.values()) < min(rates.values()) * 1.4, (
+        f"random reads should be comparable across systems: {rates}")
+
+
+def test_highlight_close_to_lfs(benchmark, table2_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for phase in TABLE2_PHASES:
+        lfs = _rate(table2_results, "lfs", phase)
+        hl = _rate(table2_results, "hl-ondisk", phase)
+        assert hl > lfs * 0.85, (
+            f"HighLight (on-disk) should be within ~15% of LFS on "
+            f"{phase!r}: {hl:.0f} vs {lfs:.0f} KB/s")
+
+
+def test_incache_close_to_ondisk(benchmark, table2_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for phase in TABLE2_PHASES:
+        ondisk = _rate(table2_results, "hl-ondisk", phase)
+        incache = _rate(table2_results, "hl-incache", phase)
+        assert incache > ondisk * 0.85, (
+            f"cached-segment access should match on-disk on {phase!r}: "
+            f"{incache:.0f} vs {ondisk:.0f} KB/s")

@@ -1,0 +1,25 @@
+"""Table 4: breakdown of migration elapsed time.
+
+Paper: Footprint write 62%, I/O server read 37%, migrator queuing 1%.
+Asserts the ordering and rough magnitudes: the MO transfer dominates, the
+contended raw-disk read is a strong second, queuing is noise.
+"""
+
+from conftest import print_report
+
+from repro.bench.tables import run_table4
+
+
+def test_table4_breakdown(benchmark):
+    percentages, report = benchmark.pedantic(run_table4, rounds=1,
+                                             iterations=1)
+    print_report(report)
+    assert abs(sum(percentages.values()) - 100.0) < 1e-6
+
+    fw = percentages["footprint_write"]
+    rd = percentages["ioserver_read"]
+    q = percentages["queuing"]
+    assert fw > rd > q, f"expected write > read > queuing, got {percentages}"
+    assert 45.0 <= fw <= 75.0, f"Footprint write share {fw:.1f}% (paper 62%)"
+    assert 20.0 <= rd <= 50.0, f"I/O server read share {rd:.1f}% (paper 37%)"
+    assert q <= 5.0, f"queuing share {q:.1f}% (paper 1%)"

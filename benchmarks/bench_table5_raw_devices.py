@@ -1,0 +1,31 @@
+"""Table 5: raw device measurements.
+
+The device models are calibrated to these numbers, so this benchmark is
+the end-to-end check that the calibration is wired through the stack:
+every rate must land within 3% of the paper, and the volume change within
+0.5 s.
+"""
+
+from conftest import print_report
+
+from repro.bench.tables import PAPER_TABLE5, run_table5
+
+
+def test_table5_raw_devices(benchmark):
+    results, report = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    print_report(report)
+    for key in ("mo_read", "mo_write", "rz57_read", "rz57_write",
+                "rz58_read", "rz58_write"):
+        paper = PAPER_TABLE5[key]
+        measured = results[key]
+        assert abs(measured - paper) / paper < 0.03, (
+            f"{key}: {measured:.0f} KB/s vs paper {paper:.0f} KB/s")
+    assert abs(results["volume_change"]
+               - PAPER_TABLE5["volume_change"]) < 0.5
+
+
+def test_raw_write_slower_than_read_everywhere(benchmark):
+    results, _ = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    for dev in ("mo", "rz57", "rz58"):
+        assert results[f"{dev}_write"] < results[f"{dev}_read"], (
+            f"{dev}: writes should be slower than reads")

@@ -1,0 +1,75 @@
+"""Table 6: migrator throughput with and without disk-arm contention.
+
+Paper shape asserted here:
+
+* the contention phase (migrator staging while the I/O server drains) is
+  substantially slower than the drain-only phase, in every configuration;
+* the drain-only phase approaches the MO write speed (204 KB/s raw);
+* a separate, faster staging spindle (RZ58) improves the contention
+  phase; a slow HP-IB staging disk (HP7958A) degrades every phase;
+* SCSI bandwidth is not the limiting factor (the bus never saturates).
+"""
+
+import pytest
+from conftest import print_report
+
+from repro.bench.tables import run_table6
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def table6_results():
+    if "data" not in _RESULTS:
+        results, report = run_table6()
+        print_report(report)
+        _RESULTS["data"] = results
+    return _RESULTS["data"]
+
+
+def test_table6_runs(benchmark, table6_results):
+    benchmark.pedantic(lambda: table6_results, rounds=1, iterations=1)
+    assert set(table6_results) == {"rz57", "rz57+rz58", "rz57+hp7958a"}
+
+
+def test_contention_slower_than_drain(benchmark, table6_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for config, rates in table6_results.items():
+        assert rates["contention"] < rates["no_contention"] * 0.85, (
+            f"{config}: arm contention should depress throughput: {rates}")
+
+
+def test_drain_approaches_mo_speed(benchmark, table6_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for config in ("rz57", "rz57+rz58"):
+        rate = table6_results[config]["no_contention"]
+        assert rate > 204.0 * 0.7, (
+            f"{config}: drain phase should run near the MO write speed, "
+            f"got {rate:.0f} KB/s")
+
+
+def test_separate_fast_spindle_helps(benchmark, table6_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    base = table6_results["rz57"]["contention"]
+    rz58 = table6_results["rz57+rz58"]["contention"]
+    assert rz58 > base * 1.02, (
+        f"a separate RZ58 staging spindle should improve the contention "
+        f"phase (paper: +14%), got {base:.0f} -> {rz58:.0f} KB/s")
+
+
+def test_slow_hpib_staging_hurts(benchmark, table6_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    base = table6_results["rz57"]
+    slow = table6_results["rz57+hp7958a"]
+    for phase in ("contention", "no_contention", "overall"):
+        assert slow[phase] < base[phase], (
+            f"HP7958A staging should degrade {phase}: "
+            f"{slow[phase]:.0f} vs {base[phase]:.0f} KB/s")
+
+
+def test_overall_between_phases(benchmark, table6_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for config, rates in table6_results.items():
+        assert rates["contention"] <= rates["overall"] <= \
+            rates["no_contention"] * 1.05, (
+                f"{config}: overall rate should sit between phases: {rates}")

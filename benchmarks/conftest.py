@@ -1,0 +1,10 @@
+"""Shared benchmark configuration."""
+
+import pytest
+
+
+def print_report(report) -> None:
+    """Render a TableReport; visible with ``pytest -s`` and in captured
+    output on failure."""
+    print()
+    print(report)

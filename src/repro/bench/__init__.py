@@ -1,0 +1,10 @@
+"""Benchmark harness regenerating every table and figure in the paper.
+
+``harness`` builds the paper's testbed (848 MB RZ57 partition, HP 6300 MO
+changer with 40 MB-constrained platters, shared SCSI bus, HP 9000/370
+CPU); ``tables`` holds one runner per paper table; ``figures`` renders the
+architecture figures from live system state; ``report`` formats
+paper-vs-measured comparisons.
+"""
+
+__all__ = ["harness", "tables", "figures", "report"]

@@ -1,0 +1,55 @@
+"""Regenerate every paper table and figure from the command line.
+
+Usage:
+    python3 -m repro.bench              # everything
+    python3 -m repro.bench table2 fig4  # a selection
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import figures, tables
+
+RUNNERS = {
+    "table1": tables.run_table1,
+    "table2": tables.run_table2,
+    "table3": tables.run_table3,
+    "table4": tables.run_table4,
+    "table5": tables.run_table5,
+    "table6": tables.run_table6,
+    "fig1": figures.figure1,
+    "fig2": figures.figure2,
+    "fig3": figures.figure3,
+    "fig4": figures.figure4,
+    "fig5": figures.figure5,
+}
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(RUNNERS)
+    unknown = [n for n in names if n not in RUNNERS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        print(f"available: {', '.join(RUNNERS)}")
+        return 2
+    failures = 0
+    for name in names:
+        result = RUNNERS[name]()
+        if name.startswith("table"):
+            _data, report = result
+            print(report)
+        else:
+            print(result)
+            bad = {k: v for k, v in result.facts.items() if not v}
+            if bad:
+                print(f"  FAILED facts: {bad}")
+                failures += 1
+            else:
+                print("  all structural facts hold")
+        print()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

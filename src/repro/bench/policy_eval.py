@@ -1,0 +1,159 @@
+"""Trace-driven migration-policy evaluation.
+
+The paper closes with: "Future work will evaluate the candidate migration
+policies to determine which one(s) seem to provide the best performance in
+the Sequoia environment ... it seems clear that the file access
+characteristics of a site will be the prime determinant of a good policy"
+(§9).  This module is that evaluation harness: build a site-like file
+population, run an activity trace, migrate under a candidate policy, then
+replay a reactivation trace and measure what applications feel.
+
+The workload follows the paper's §5 access assumptions: most archived
+data is never re-read; what does reactivate is hit in bursts; and
+popularity is skewed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.bench import harness
+from repro.bench.report import TableReport
+from repro.core.migrator import Migrator
+from repro.core.policies import (AccessTimePolicy, NamespacePolicy,
+                                 STPPolicy)
+from repro.util.units import KB, MB
+from repro.workloads.filetree import TreeSpec, build_tree
+from repro.workloads.traces import ArchivalTrace
+
+
+@dataclass
+class SiteSpec:
+    """Shape of the simulated site's file population and traffic."""
+
+    units: int = 4
+    files_per_unit: int = 6
+    mean_file_bytes: int = 200 * KB
+    #: Zipf skew of reactivation popularity across files.
+    zipf_s: float = 1.3
+    #: Bursts replayed after migration (the measured phase).
+    reactivation_bursts: int = 20
+    #: Bytes each policy is asked to migrate.
+    migration_target: int = 3 * MB
+    seed: int = 1993
+
+
+@dataclass
+class PolicyEvalResult:
+    """What one policy did to the site."""
+
+    policy: str
+    files_migrated: int
+    bytes_staged: int
+    demand_fetches: int
+    mean_read_latency: float
+    reads: int
+    disk_live_before: int
+    disk_live_after: int
+
+    @property
+    def disk_freed(self) -> int:
+        return max(0, self.disk_live_before - self.disk_live_after)
+
+
+def default_policies(spec: SiteSpec) -> Dict[str, Callable[[], object]]:
+    """The §5 candidates, parameterised for one site spec."""
+    return {
+        "stp": lambda: STPPolicy(target_bytes=spec.migration_target),
+        "access-time": lambda: AccessTimePolicy(
+            target_bytes=spec.migration_target),
+        "namespace": lambda: NamespacePolicy(
+            target_bytes=spec.migration_target, unit_depth=2,
+            root="/site"),
+    }
+
+
+def evaluate_policy(policy_name: str, make_policy, spec: SiteSpec
+                    ) -> PolicyEvalResult:
+    """Run the full build/trace/migrate/replay cycle for one policy."""
+    bed = harness.make_highlight(partition_bytes=256 * MB, n_platters=8)
+    harness.preload_write_volume(bed)
+    fs, app = bed.fs, bed.app
+
+    tree = build_tree(fs, app, "/site",
+                      TreeSpec(units=spec.units,
+                               files_per_unit=spec.files_per_unit,
+                               mean_file_bytes=spec.mean_file_bytes,
+                               seed=spec.seed))
+    paths = [p for files in tree.values() for p in files]
+    sizes = [fs.stat(p).size for p in paths]
+
+    # Activity phase: skewed bursts establish who is hot.
+    trace = ArchivalTrace(paths, sizes, zipf_s=spec.zipf_s,
+                          mean_think=120.0, write_fraction=0.05,
+                          seed=spec.seed + 1)
+    trace.replay(fs, app, n_bursts=spec.reactivation_bursts)
+    fs.checkpoint(app)
+    app.sleep(4 * 3600)  # the site goes quiet overnight
+
+    disk_live_before = sum(s.live_bytes for s in fs.ifile.segs
+                           if not s.is_cached())
+    migrator = Migrator(fs, policy=make_policy())
+    stats = migrator.run_once(app)
+    fs.checkpoint(app)
+    fs.service.flush_cache(app)
+    fs.drop_caches(app, drop_inodes=True)
+    disk_live_after = sum(s.live_bytes for s in fs.ifile.segs
+                          if not s.is_cached())
+
+    # Reactivation phase: the same popularity skew comes back.
+    replay = ArchivalTrace(paths, sizes, zipf_s=spec.zipf_s,
+                           mean_think=60.0, write_fraction=0.0,
+                           seed=spec.seed + 2)
+    fetches0 = fs.stats.demand_fetches
+    latency = 0.0
+    reads = 0
+    for event in replay.events(spec.reactivation_bursts):
+        app.sleep(event.think_time)
+        inum = fs.lookup(event.path, app)
+        t0 = app.time
+        fs.read(inum, event.offset, event.nbytes, app)
+        latency += app.time - t0
+        reads += 1
+
+    return PolicyEvalResult(
+        policy=policy_name,
+        files_migrated=stats.files_migrated,
+        bytes_staged=stats.bytes_staged,
+        demand_fetches=fs.stats.demand_fetches - fetches0,
+        mean_read_latency=latency / max(1, reads),
+        reads=reads,
+        disk_live_before=disk_live_before,
+        disk_live_after=disk_live_after,
+    )
+
+
+def compare_policies(spec: Optional[SiteSpec] = None,
+                     policies: Optional[Dict[str, Callable]] = None
+                     ) -> Dict[str, PolicyEvalResult]:
+    """Evaluate every candidate on the same site; returns per-policy
+    results (and prints nothing — callers format)."""
+    spec = spec or SiteSpec()
+    policies = policies or default_policies(spec)
+    return {name: evaluate_policy(name, factory, spec)
+            for name, factory in policies.items()}
+
+
+def render_comparison(results: Dict[str, PolicyEvalResult]) -> str:
+    lines = [
+        f"{'policy':<14}{'migrated':>10}{'freed':>10}{'fetches':>9}"
+        f"{'mean read':>11}",
+        "-" * 54,
+    ]
+    for name, r in results.items():
+        lines.append(
+            f"{name:<14}{r.files_migrated:>8} f{r.disk_freed // KB:>8}K"
+            f"{r.demand_fetches:>9}{r.mean_read_latency * 1000:>9.0f}ms")
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Paper-vs-measured report formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.util.units import KB
+
+
+@dataclass
+class Comparison:
+    """One measured value next to its paper reference."""
+
+    label: str
+    paper: Optional[float]
+    measured: float
+    unit: str = "KB/s"
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper
+
+    def row(self) -> str:
+        paper = f"{self.paper:10.1f}" if self.paper is not None else "         -"
+        ratio = f"{self.ratio:6.2f}x" if self.ratio is not None else "      -"
+        return (f"{self.label:<34} {paper} {self.measured:10.1f} "
+                f"{ratio}  {self.unit}")
+
+
+@dataclass
+class TableReport:
+    """A rendered experiment: header + comparison rows."""
+
+    title: str
+    comparisons: List[Comparison] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, label: str, paper: Optional[float], measured: float,
+            unit: str = "KB/s") -> None:
+        self.comparisons.append(Comparison(label, paper, measured, unit))
+
+    def render(self) -> str:
+        lines = [
+            "=" * 78,
+            self.title,
+            "=" * 78,
+            f"{'phase / quantity':<34} {'paper':>10} {'measured':>10} "
+            f"{'ratio':>7}",
+            "-" * 78,
+        ]
+        lines += [c.row() for c in self.comparisons]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def throughput_kbs(nbytes: int, seconds: float) -> float:
+    """KB/s the way the paper computes it."""
+    if seconds <= 0:
+        return float("inf")
+    return nbytes / seconds / KB

@@ -1,0 +1,91 @@
+"""A magnetic disk: one arm, calibrated streaming rates, optional SCSI bus."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.blockdev.base import BlockDevice
+from repro.blockdev.bus import SCSIBus
+from repro.blockdev.geometry import DiskProfile
+from repro.sim.actor import Actor
+from repro.sim.resources import TimelineResource, occupy_all
+
+
+class DiskDevice(BlockDevice):
+    """A single-spindle magnetic disk.
+
+    The arm is a :class:`TimelineResource`; when two actors (say the
+    migrator and the I/O server) interleave operations on one disk, every
+    operation that does not continue the *immediately preceding* physical
+    position pays seek + rotation, which is the entire story behind the
+    paper's Table 6 "disk arm contention" phase.
+    """
+
+    def __init__(self, profile: DiskProfile, name: Optional[str] = None,
+                 bus: Optional[SCSIBus] = None) -> None:
+        super().__init__(name or profile.name, profile.capacity_blocks,
+                         profile.block_size)
+        self.profile = profile
+        self.bus = bus
+        self.arm = TimelineResource(f"{self.name}.arm")
+        # Physical continuity state for streaming detection.
+        self._last_end_blk: Optional[int] = None
+        self._last_end_time = float("-inf")
+
+    # -- timing -----------------------------------------------------------
+
+    def _positioning(self, actor: Actor, blkno: int) -> float:
+        """Seek + rotation cost for an op starting at ``blkno``, or 0 if
+        the head can stream straight into it."""
+        streams = (
+            self._last_end_blk is not None
+            and blkno == self._last_end_blk
+            and actor.time - self._last_end_time <= self.profile.streaming_gap
+        )
+        if streams:
+            return 0.0
+        if self._last_end_blk is None:
+            seek = self.profile.avg_seek
+        elif blkno == self._last_end_blk:
+            # Sequential continuation that arrived too late: the sector
+            # has rotated past — pay a blown revolution, but no seek.
+            return self.profile.rotation_time
+        else:
+            seek = self.profile.seek(self._last_end_blk, blkno)
+        return seek + self.profile.avg_rotational_latency
+
+    def _do_io(self, actor: Actor, blkno: int, nbytes: int,
+               is_write: bool) -> None:
+        pos = self._positioning(actor, blkno)
+        xfer = self.profile.transfer(nbytes, is_write)
+        overhead = self.profile.per_op_overhead
+        # Seek/rotation holds only the arm (the device disconnects from the
+        # bus); the transfer holds arm + bus together.
+        self.arm.occupy(actor, overhead + pos)
+        if self.bus is not None:
+            wire = nbytes / self.bus.bandwidth
+            occupy_all(actor, [self.arm, self.bus], max(xfer, wire))
+        else:
+            self.arm.occupy(actor, xfer)
+        self.stats.seek_seconds += pos
+        self.stats.transfer_seconds += xfer
+        self._last_end_blk = blkno + nbytes // self.block_size
+        self._last_end_time = actor.time
+
+    # -- BlockDevice API ----------------------------------------------------
+
+    def read(self, actor: Actor, blkno: int, nblocks: int) -> bytes:
+        self.store.check_range(blkno, nblocks)
+        data = self.store.read(blkno, nblocks)
+        self._do_io(actor, blkno, nblocks * self.block_size, is_write=False)
+        self.stats.read_ops += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def write(self, actor: Actor, blkno: int, data: bytes) -> None:
+        nblocks = len(data) // self.block_size
+        self.store.check_range(blkno, nblocks)
+        self.store.write(blkno, data)
+        self._do_io(actor, blkno, len(data), is_write=True)
+        self.stats.write_ops += 1
+        self.stats.bytes_written += len(data)

@@ -1,0 +1,100 @@
+"""Linear tape media and drives (the Metrum unit's innards).
+
+Tape positioning is linear: the cost of reaching a block is proportional
+to the distance the tape must wind, and writing is append-biased.  A
+cartridge's *effective* capacity can fall short of nominal when
+device-level compression underperforms (paper §6.3); HighLight reacts to
+the resulting ``EndOfMedium`` by marking the volume full and re-writing the
+interrupted segment on the next volume.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.blockdev.bus import SCSIBus
+from repro.blockdev.jukebox import Drive, RemovableVolume
+from repro.errors import EndOfMedium
+from repro.sim.actor import Actor
+from repro.sim.resources import TimelineResource, occupy_all
+
+
+class TapeVolume(RemovableVolume):
+    """One tape cartridge (e.g. a 14.5 GB Metrum cartridge)."""
+
+
+class TapeDrive(Drive):
+    """A streaming tape transport.
+
+    Timing model: load/thread time on media change, wind at
+    ``wind_rate`` bytes of tape distance per second to reach a target
+    block, then stream at ``read_rate`` / ``write_rate``.
+    """
+
+    def __init__(self, name: str, bus: Optional[SCSIBus] = None,
+                 read_rate: float = 1024.0 * 1024,
+                 write_rate: float = 1024.0 * 1024,
+                 wind_rate: float = 80.0 * 1024 * 1024,
+                 thread_time: float = 20.0,
+                 per_op_overhead: float = 0.005,
+                 block_size: int = 4096) -> None:
+        super().__init__(name, bus)
+        self.read_rate = read_rate
+        self.write_rate = write_rate
+        self.wind_rate = wind_rate
+        self.thread_time = thread_time
+        self.per_op_overhead = per_op_overhead
+        self.block_size = block_size
+        self.transport = TimelineResource(f"{name}.transport")
+        self.position_blk = 0  # head position on the loaded tape
+
+    def on_load(self, volume: RemovableVolume) -> None:
+        super().on_load(volume)
+        self.position_blk = 0
+
+    def _wind_to(self, actor: Actor, blkno: int) -> float:
+        """Wind the tape from the current position to ``blkno``."""
+        distance_bytes = abs(blkno - self.position_blk) * self.block_size
+        seconds = distance_bytes / self.wind_rate
+        if seconds:
+            self.transport.occupy(actor, seconds)
+            self.stats.seek_seconds += seconds
+        return seconds
+
+    def _stream(self, actor: Actor, nbytes: int, is_write: bool) -> None:
+        rate = self.write_rate if is_write else self.read_rate
+        xfer = nbytes / rate
+        if self.bus is not None:
+            wire = nbytes / self.bus.bandwidth
+            occupy_all(actor, [self.transport, self.bus], max(xfer, wire))
+        else:
+            self.transport.occupy(actor, xfer)
+        self.stats.transfer_seconds += xfer
+
+    def read(self, actor: Actor, blkno: int, nblocks: int) -> bytes:
+        volume = self.require_loaded()
+        data = volume.store.read(blkno, nblocks)
+        self.transport.occupy(actor, self.per_op_overhead)
+        self._wind_to(actor, blkno)
+        self._stream(actor, nblocks * volume.block_size, is_write=False)
+        self.position_blk = blkno + nblocks
+        self.stats.read_ops += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def write(self, actor: Actor, blkno: int, data: bytes) -> None:
+        volume = self.require_loaded()
+        nblocks = len(data) // volume.block_size
+        if blkno + nblocks > volume.effective_capacity_blocks:
+            raise EndOfMedium(
+                f"volume {volume.volume_id}: write of {nblocks} blocks at "
+                f"{blkno} passes effective capacity "
+                f"{volume.effective_capacity_blocks}")
+        self._check_write(volume, blkno, nblocks)
+        volume.store.write(blkno, data)
+        self.transport.occupy(actor, self.per_op_overhead)
+        self._wind_to(actor, blkno)
+        self._stream(actor, len(data), is_write=True)
+        self.position_blk = blkno + nblocks
+        self.stats.write_ops += 1
+        self.stats.bytes_written += len(data)

@@ -1,0 +1,35 @@
+"""HighLight: the paper's primary contribution.
+
+Extends the LFS substrate with a storage hierarchy (paper §4-§6):
+
+* a uniform 32-bit block address space spanning the disk farm (bottom)
+  and every tertiary volume (top, growing downward) — ``addressing``;
+* a companion tsegfile tracking tertiary segment usage — ``tsegfile``;
+* a disk-resident segment cache of read-only tertiary segments —
+  ``segcache``;
+* staging segments assembled with tertiary block addresses — ``staging``;
+* the service process / I/O server pair that moves whole segments
+  between levels via Footprint — ``service``, ``ioserver``;
+* the migrator, a second cleaner that implements migration policy —
+  ``migrator``, with the policy zoo in ``policies``;
+* the assembled filesystem — ``highlight.HighLightFS``.
+"""
+
+from repro.core.addressing import AddressSpace, BlockMapDriver
+from repro.core.tsegfile import TSegFile, VolumeMeta
+from repro.core.segcache import SegmentCache
+from repro.core.service import ServiceProcess
+from repro.core.ioserver import IOServer
+from repro.core.migrator import Migrator
+from repro.core.highlight import HighLightFS, HighLightConfig
+from repro.core import policies
+
+__all__ = [
+    "AddressSpace", "BlockMapDriver",
+    "TSegFile", "VolumeMeta",
+    "SegmentCache",
+    "ServiceProcess", "IOServer",
+    "Migrator",
+    "HighLightFS", "HighLightConfig",
+    "policies",
+]

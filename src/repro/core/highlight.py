@@ -1,0 +1,296 @@
+"""HighLightFS: the assembled hierarchy-managing filesystem.
+
+Applications see "a 'normal' filesystem, accessible through the usual
+operating system calls" (paper §4): every LFS operation works unchanged,
+but block I/O is routed through the block-map driver, which dispatches to
+the disk farm, the segment cache, or — via the service process — a
+tertiary volume.  Layering follows the paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.blockdev.base import BlockDevice, CPUModel
+from repro.blockdev.striped import ConcatDevice
+from repro.core.addressing import AddressSpace, BlockMapDriver
+from repro.core.ioserver import IOServer
+from repro.core.segcache import SegmentCache
+from repro.core.service import ServiceProcess
+from repro.core.tsegfile import TSegFile
+from repro.errors import InvalidArgument, NoSpace
+from repro.footprint.interface import FootprintInterface
+from repro.lfs.constants import BLOCK_SIZE, SUMMARY_SIZE_HIGHLIGHT
+from repro.lfs.filesystem import LFS, LFSConfig
+from repro.lfs.ifile import SegUse
+from repro.sim.actor import Actor
+
+
+@dataclass
+class HighLightConfig(LFSConfig):
+    """HighLight tunables on top of the base LFS knobs."""
+
+    #: HighLight must use 4 KB summary blocks (its pointers address 4 KB
+    #: blocks, paper §6.3).
+    summary_size: int = SUMMARY_SIZE_HIGHLIGHT
+    #: Static cap on disk segments usable as cache lines, as a fraction of
+    #: the disk (chosen at mkfs, paper §6.4); ncachesegs overrides if set.
+    cache_fraction: float = 0.25
+    ncachesegs: Optional[int] = None
+    #: Chunk size (blocks) of the I/O server's raw disk transfers.
+    #: Small chunks expose the read path to migrator arm contention the
+    #: way the paper's I/O server was (Tables 4 and 6).
+    io_chunk_blocks: int = 4
+    #: Per-I/O CPU cost of the block-map indirection (the "slightly
+    #: modified system structures", §7.1).
+    driver_lookup_overhead: float = 0.0002
+    #: Size tertiary volumes by their expected ("nominal") or actual
+    #: ("effective") capacity; nominal exercises the end-of-medium path.
+    expected_capacity: str = "effective"
+    #: Place cache/staging lines in the highest-numbered clean segments —
+    #: with a concatenated second spindle this steers staging onto a
+    #: separate disk arm (Table 6's RZ58/HP7958A configurations).
+    cache_prefer_high: bool = False
+
+
+class HighLightFS(LFS):
+    """LFS extended with tertiary storage management."""
+
+    def __init__(self, device: BlockDevice,
+                 config: Optional[HighLightConfig] = None,
+                 cpu: Optional[CPUModel] = None,
+                 actor: Optional[Actor] = None) -> None:
+        super().__init__(device, config or HighLightConfig(), cpu, actor)
+        #: Raw (concatenated) disk device, bypassing the block map —
+        #: what the I/O server and migrator use for their direct access.
+        self.disk = device
+        self.footprint: Optional[FootprintInterface] = None
+        self.aspace: Optional[AddressSpace] = None
+        self.tsegfile: Optional[TSegFile] = None
+        self.cache: Optional[SegmentCache] = None
+        self.driver: Optional[BlockMapDriver] = None
+        self.ioserver: Optional[IOServer] = None
+        self.service: Optional[ServiceProcess] = None
+        self.migrator = None          # set by Migrator.__init__
+        self.range_tracker = None     # optional AccessRangeTracker
+        self.tsegfile_inum: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def mkfs_highlight(cls, disks: Union[BlockDevice, Sequence[BlockDevice]],
+                       footprint: FootprintInterface,
+                       config: Optional[HighLightConfig] = None,
+                       cpu: Optional[CPUModel] = None,
+                       actor: Optional[Actor] = None) -> "HighLightFS":
+        """Create a HighLight filesystem over a disk farm and a jukebox."""
+        config = config or HighLightConfig()
+        device = cls._as_device(disks)
+        ncache = config.ncachesegs
+        if ncache is None:
+            bps = config.blocks_per_seg
+            disk_segs = device.capacity_blocks // bps
+            ncache = max(1, int(disk_segs * config.cache_fraction))
+        fs = LFS.mkfs.__func__(cls, device, config, cpu, actor,
+                               ncachesegs=ncache)
+        fs.attach_tertiary(footprint)
+        # Persist the tertiary bookkeeping (tsegfile inum lives in the
+        # superblock flags so mount can find it).
+        fs.checkpoint()
+        return fs
+
+    @classmethod
+    def mount_highlight(cls, disks: Union[BlockDevice, Sequence[BlockDevice]],
+                        footprint: FootprintInterface,
+                        config: Optional[HighLightConfig] = None,
+                        cpu: Optional[CPUModel] = None,
+                        actor: Optional[Actor] = None) -> "HighLightFS":
+        """Mount an existing HighLight filesystem (crash recovery path)."""
+        device = cls._as_device(disks)
+        fs = LFS.mount.__func__(cls, device, config or HighLightConfig(),
+                                cpu, actor)
+        fs.attach_tertiary(footprint, existing=True)
+        return fs
+
+    @staticmethod
+    def _as_device(disks) -> BlockDevice:
+        if isinstance(disks, BlockDevice):
+            return disks
+        return ConcatDevice("diskfarm", list(disks))
+
+    def attach_tertiary(self, footprint: FootprintInterface,
+                        existing: bool = False) -> None:
+        """Wire up the tertiary side (Fig. 5's lower layers)."""
+        config: HighLightConfig = self.config
+        self.footprint = footprint
+        if existing:
+            self.tsegfile_inum = self.sb.flags or None
+            if self.tsegfile_inum is None:
+                raise InvalidArgument(
+                    "filesystem has no tsegfile (not a HighLight fs?)")
+            content = self.read(self.tsegfile_inum, 0,
+                                self.get_inode(self.tsegfile_inum).size,
+                                update_atime=False)
+            self.tsegfile = TSegFile.deserialize(content)
+        else:
+            use_nominal = config.expected_capacity == "nominal"
+            metas = []
+            from repro.core.tsegfile import VolumeMeta
+            for info in footprint.volumes():
+                blocks = (info.capacity_blocks if use_nominal
+                          else info.effective_capacity_blocks)
+                metas.append(VolumeMeta(volume_id=info.volume_id,
+                                        nsegs=blocks // config.blocks_per_seg))
+            self.tsegfile = TSegFile(metas)
+            self.tsegfile_inum = self.create("/.tsegfile", actor=self.actor)
+            self.sb.flags = self.tsegfile_inum
+        self.aspace = AddressSpace(self.ifile.nsegs,
+                                   self.tsegfile.seg_counts(),
+                                   blocks_per_seg=config.blocks_per_seg)
+        self.cache = SegmentCache(self, max_lines=self.sb.ncachesegs)
+        if existing:
+            self.cache.rebuild_from_ifile()
+        self.driver = BlockMapDriver(
+            self.aspace, self.disk, cpu=self.cpu,
+            lookup_overhead=config.driver_lookup_overhead)
+        self.driver.cache = self.cache
+        self.ioserver = IOServer(self.aspace, self.tsegfile, self.disk,
+                                 footprint,
+                                 io_chunk_blocks=config.io_chunk_blocks)
+        self.service = ServiceProcess(self, self.ioserver, self.cache)
+        self.driver.service = self.service
+
+    @property
+    def pinned_inums(self) -> frozenset:
+        """Inodes that must never migrate: "all the special files used by
+        the base LFS and HighLight ... always remain on disk" (§6.4)."""
+        pinned = {1}  # the ifile
+        if self.tsegfile_inum is not None:
+            pinned.add(self.tsegfile_inum)
+        return frozenset(pinned)
+
+    def set_prefetcher(self, prefetcher) -> None:
+        """Install a prefetch policy on the service process."""
+        if self.service is None:
+            raise InvalidArgument("tertiary side not attached")
+        self.service.prefetcher = prefetcher
+
+    # ------------------------------------------------------------------
+    # Geometry overrides: the unified address space
+    # ------------------------------------------------------------------
+
+    def seg_base(self, segno: int) -> int:
+        if self.aspace is None:
+            return super().seg_base(segno)
+        return self.aspace.seg_base(segno)
+
+    def segno_of(self, daddr: int) -> int:
+        if self.aspace is None:
+            return super().segno_of(daddr)
+        return self.aspace.segno_of(daddr)
+
+    def _seg_tracked(self, segno: int) -> bool:
+        if self.aspace is None:
+            return super()._seg_tracked(segno)
+        return (self.aspace.is_disk_segno(segno)
+                or self.aspace.is_tertiary_segno(segno))
+
+    def seguse_for(self, segno: int) -> SegUse:
+        if self.aspace is not None and self.aspace.is_tertiary_segno(segno):
+            return self.tseg_use(segno)
+        return self.ifile.seguse(segno)
+
+    def tseg_use(self, tsegno: int) -> SegUse:
+        """Usage entry for a tertiary segment (tsegfile lookup)."""
+        vol, seg_in_vol = self.aspace.volume_of(tsegno)
+        return self.tsegfile.seguse(vol, seg_in_vol)
+
+    # ------------------------------------------------------------------
+    # I/O routing
+    # ------------------------------------------------------------------
+
+    def dev_read(self, actor: Actor, daddr: int, nblocks: int) -> bytes:
+        if self.driver is None:
+            return super().dev_read(actor, daddr, nblocks)
+        self.stats.blocks_read += nblocks
+        return self.driver.read(actor, daddr, nblocks)
+
+    def dev_write(self, actor: Actor, daddr: int, data: bytes) -> None:
+        if self.driver is None:
+            super().dev_write(actor, daddr, data)
+            return
+        self.stats.blocks_written += len(data) // BLOCK_SIZE
+        self.driver.write(actor, daddr, data)
+
+    # ------------------------------------------------------------------
+    # Log management overrides
+    # ------------------------------------------------------------------
+
+    def pick_clean_segment(self) -> int:
+        """As LFS, but a clean-segment famine can reclaim a cache line —
+        read-only lines never hold the sole copy of anything (§4)."""
+        try:
+            return super().pick_clean_segment()
+        except NoSpace:
+            if self.cache is None:
+                raise
+            freed = self.cache.surrender_line()
+            if freed is None:
+                raise
+            return freed
+
+    def checkpoint(self, actor: Optional[Actor] = None) -> None:
+        actor = actor or self.actor
+        if self.migrator is not None:
+            self.migrator.flush(actor)
+        if self.tsegfile is not None and self.tsegfile_inum is not None:
+            content = self.tsegfile.serialize()
+            ino = self.get_inode(self.tsegfile_inum, actor)
+            old_size = ino.size
+            self.write(self.tsegfile_inum, 0, content, actor)
+            if len(content) < old_size:
+                self._truncate_blocks(ino, len(content), actor)
+        super().checkpoint(actor)
+
+    # ------------------------------------------------------------------
+    # Access-range tracking hook (block-range policy support)
+    # ------------------------------------------------------------------
+
+    def read(self, inum: int, offset: int, nbytes: int,
+             actor: Optional[Actor] = None,
+             update_atime: bool = True) -> bytes:
+        data = super().read(inum, offset, nbytes, actor, update_atime)
+        if self.range_tracker is not None and update_atime and data:
+            start = offset // BLOCK_SIZE
+            end = (offset + len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE
+            when = (actor or self.actor).time
+            self.range_tracker.record(inum, start, end, when)
+        return data
+
+    def write(self, inum: int, offset: int, data: bytes,
+              actor: Optional[Actor] = None) -> int:
+        written = super().write(inum, offset, data, actor)
+        if self.range_tracker is not None and data and inum > 2:
+            start = offset // BLOCK_SIZE
+            end = (offset + len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE
+            when = (actor or self.actor).time
+            self.range_tracker.record(inum, start, end, when)
+        return written
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def df(self) -> Dict[str, int]:
+        out = super().df()
+        if self.tsegfile is not None:
+            out["cache_lines"] = len(self.cache)
+            out["cache_limit"] = self.sb.ncachesegs
+            out["tertiary_volumes"] = len(self.tsegfile.volumes)
+            out["tertiary_live_bytes"] = sum(
+                self.tsegfile.live_bytes(v)
+                for v in range(len(self.tsegfile.volumes)))
+        return out

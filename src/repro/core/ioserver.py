@@ -1,0 +1,130 @@
+"""The I/O server: moves whole segments between disk and tertiary storage.
+
+"The I/O server ... accesses the tertiary storage device(s) through the
+Footprint interface, and the on-disk cache directly via a character (raw)
+pseudo-device.  Direct access avoids memory-memory copies" (paper §6.7).
+
+Demand fetch path: Footprint read (tertiary -> memory), raw disk write
+(memory -> cache line).  Write-out path: raw disk read of the staging
+line, Footprint write.  Raw disk transfers are issued in configurable
+chunks; while the migrator is simultaneously gathering blocks and filling
+fresh staging lines, every chunk pays arm repositioning — Table 6's
+"disk arm contention" phase is exactly this interleaving.
+
+All phase durations are recorded in a :class:`~repro.sim.TimeAccount`
+using the paper's Table 4 categories.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.blockdev.base import BlockDevice
+from repro.errors import EndOfMedium
+from repro.footprint.interface import FootprintInterface
+from repro.lfs.constants import BLOCK_SIZE
+from repro.sim.actor import Actor, TimeAccount
+
+#: Table 4 category names.
+CAT_FOOTPRINT_WRITE = "footprint_write"
+CAT_IOSERVER_READ = "ioserver_read"
+CAT_FOOTPRINT_READ = "footprint_read"
+CAT_DISK_WRITE = "disk_write"
+CAT_QUEUING = "queuing"
+
+
+class IOServer:
+    """Executes segment copies between the disk farm and tertiary media."""
+
+    def __init__(self, aspace, tsegfile, disk: BlockDevice,
+                 footprint: FootprintInterface,
+                 io_chunk_blocks: int = 16) -> None:
+        self.aspace = aspace
+        self.tsegfile = tsegfile
+        self.disk = disk
+        self.footprint = footprint
+        self.io_chunk_blocks = io_chunk_blocks
+        self.account = TimeAccount()
+        self.segments_fetched = 0
+        self.segments_written = 0
+        #: (tsegno, completion time, bytes) per write-out — phase analysis.
+        self.writeout_log: list = []
+        self._pinned_volume: Optional[int] = None
+
+    # -- address helpers ---------------------------------------------------------
+
+    def _volume_blkno(self, tsegno: int):
+        """Map a tertiary segment to (volume_id, first block on volume)."""
+        vol, seg_in_vol = self.aspace.volume_of(tsegno)
+        vol_id = self.tsegfile.volumes[vol].volume_id
+        return vol, vol_id, seg_in_vol * self.aspace.blocks_per_seg
+
+    # -- demand fetch -------------------------------------------------------------
+
+    def fetch(self, actor: Actor, tsegno: int, disk_segno: int) -> None:
+        """Copy one tertiary segment into a disk cache line.
+
+        The segment travels tertiary -> memory -> raw disk; the paper
+        notes the eventual third copy (re-read through the buffer cache)
+        as the measured inefficiency of the fetch path (§7.2).
+        """
+        _vol, vol_id, blkno = self._volume_blkno(tsegno)
+        bps = self.aspace.blocks_per_seg
+        t0 = actor.time
+        image = self.footprint.read(actor, vol_id, blkno, bps)
+        self.account.charge(CAT_FOOTPRINT_READ, actor.time - t0)
+        t0 = actor.time
+        self.disk.write(actor, self.aspace.seg_base(disk_segno), image)
+        self.account.charge(CAT_DISK_WRITE, actor.time - t0)
+        self.segments_fetched += 1
+
+    # -- write-out ---------------------------------------------------------------
+
+    def writeout(self, actor: Actor, disk_segno: int, tsegno: int) -> None:
+        """Synchronous form of :meth:`writeout_steps`."""
+        for _ in self.writeout_steps(actor, disk_segno, tsegno):
+            pass
+
+    def writeout_steps(self, actor: Actor, disk_segno: int, tsegno: int):
+        """Copy a staged segment from its disk line to tertiary storage.
+
+        A generator that yields after each raw-disk chunk, so a scheduler
+        can interleave the migrator's own disk traffic between chunks —
+        that interleaving *is* Table 6's arm contention.
+
+        Raises :class:`EndOfMedium` through to the service process, which
+        marks the volume full and restages the segment on the next volume
+        (paper §6.3).
+        """
+        bps = self.aspace.blocks_per_seg
+        line_base = self.aspace.seg_base(disk_segno)
+        chunks = []
+        offset = 0
+        while offset < bps:
+            run = min(self.io_chunk_blocks, bps - offset)
+            t0 = actor.time
+            chunks.append(self.disk.read(actor, line_base + offset, run))
+            self.account.charge(CAT_IOSERVER_READ, actor.time - t0)
+            offset += run
+            yield
+        image = b"".join(chunks)
+
+        _vol, vol_id, blkno = self._volume_blkno(tsegno)
+        if vol_id != self._pinned_volume:
+            # Dedicate one drive to the currently-active writing volume
+            # (the paper's test-drive allocation, §7).
+            self.footprint.pin_write_drive(vol_id)
+            self._pinned_volume = vol_id
+        t0 = actor.time
+        try:
+            self.footprint.write(actor, vol_id, blkno, image)
+        finally:
+            self.account.charge(CAT_FOOTPRINT_WRITE, actor.time - t0)
+        self.segments_written += 1
+        self.writeout_log.append((tsegno, actor.time, len(image)))
+
+    def read_segment_image(self, actor: Actor, tsegno: int) -> bytes:
+        """Read a whole tertiary segment (tertiary cleaner's bulk path)."""
+        _vol, vol_id, blkno = self._volume_blkno(tsegno)
+        return self.footprint.read(actor, vol_id, blkno,
+                                   self.aspace.blocks_per_seg)

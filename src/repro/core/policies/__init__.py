@@ -1,0 +1,33 @@
+"""Migration and cache-management policies (paper §5).
+
+Writing side (choosing what to send to tertiary storage):
+
+* :class:`~repro.core.policies.stp.STPPolicy` — space-time product,
+  the ranking the current migrator actually uses (exponents 1/1, §5.1);
+* :class:`~repro.core.policies.access_time.AccessTimePolicy` — pure
+  time-since-last-access ranking (§5.1's strawman);
+* :class:`~repro.core.policies.namespace.NamespacePolicy` — directory
+  subtrees as migration units with unitsize-time ranking (§5.3);
+* :class:`~repro.core.policies.blockrange.BlockRangePolicy` — sub-file
+  block-range migration driven by access-range tracking (§5.2).
+
+Caching side (§5.4): ejection policies in
+:mod:`~repro.core.policies.ejection` (LRU, random, and the Future Work
+"least-worthy first" nearly-MRU hybrid).
+"""
+
+from repro.core.policies.base import (MigrationPolicy, MigrationUnit,
+                                      FileFacts, collect_file_facts)
+from repro.core.policies.stp import STPPolicy
+from repro.core.policies.access_time import AccessTimePolicy
+from repro.core.policies.namespace import NamespacePolicy
+from repro.core.policies.blockrange import BlockRangePolicy, AccessRangeTracker
+from repro.core.policies.ejection import (EjectionPolicy, LRUEjection,
+                                          RandomEjection, LeastWorthyEjection)
+
+__all__ = [
+    "MigrationPolicy", "MigrationUnit", "FileFacts", "collect_file_facts",
+    "STPPolicy", "AccessTimePolicy", "NamespacePolicy", "BlockRangePolicy",
+    "AccessRangeTracker",
+    "EjectionPolicy", "LRUEjection", "RandomEjection", "LeastWorthyEjection",
+]

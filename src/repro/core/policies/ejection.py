@@ -1,0 +1,116 @@
+"""Cache-line ejection policies (paper §5.4 and §10).
+
+"Cache flushing could be handled by any of the standard policies: LRU,
+random, working-set observations, etc."  The Future Work section adds a
+nearly-MRU hybrid: freshly fetched segments are designated "least worthy"
+and ejected first, unless a repeat access promotes them into the regular
+pool — approximating cache-bypass for one-shot reads.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Set
+
+from repro.util.lru import LRUTracker
+
+
+class EjectionPolicy(ABC):
+    """Chooses which cached tertiary segment to eject."""
+
+    @abstractmethod
+    def choose_victim(self, candidates: List[int]) -> Optional[int]:
+        """Pick one of ``candidates`` (tertiary segnos) to eject."""
+
+    def on_insert(self, tsegno: int, fresh_fetch: bool) -> None:
+        """A line was registered (fetch or staging)."""
+
+    def on_access(self, tsegno: int) -> None:
+        """A cached line satisfied a read."""
+
+    def on_evict(self, tsegno: int) -> None:
+        """A line left the cache."""
+
+
+class LRUEjection(EjectionPolicy):
+    """Eject the least-recently-used line."""
+
+    def __init__(self) -> None:
+        self._lru: LRUTracker[int] = LRUTracker()
+
+    def on_insert(self, tsegno: int, fresh_fetch: bool) -> None:
+        self._lru.touch(tsegno)
+
+    def on_access(self, tsegno: int) -> None:
+        self._lru.touch(tsegno)
+
+    def on_evict(self, tsegno: int) -> None:
+        self._lru.discard(tsegno)
+
+    def choose_victim(self, candidates: List[int]) -> Optional[int]:
+        allowed = set(candidates)
+        for tsegno in self._lru:
+            if tsegno in allowed:
+                return tsegno
+        return candidates[0] if candidates else None
+
+
+class RandomEjection(EjectionPolicy):
+    """Eject a uniformly random line (seeded for reproducibility)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def choose_victim(self, candidates: List[int]) -> Optional[int]:
+        if not candidates:
+            return None
+        return self._rng.choice(sorted(candidates))
+
+
+class LeastWorthyEjection(EjectionPolicy):
+    """The Future Work nearly-MRU hybrid (paper §10).
+
+    Fresh fetches enter a "least worthy" set ejected before anything else;
+    a second access promotes a line into a regular LRU pool.  This keeps a
+    one-time sequential sweep over tertiary data from flushing the whole
+    cache.
+    """
+
+    def __init__(self) -> None:
+        self._lru: LRUTracker[int] = LRUTracker()
+        self._least_worthy: Set[int] = set()
+        self._seen_once: Set[int] = set()
+
+    def on_insert(self, tsegno: int, fresh_fetch: bool) -> None:
+        self._lru.touch(tsegno)
+        if fresh_fetch:
+            self._least_worthy.add(tsegno)
+            self._seen_once.discard(tsegno)
+
+    def on_access(self, tsegno: int) -> None:
+        self._lru.touch(tsegno)
+        if tsegno in self._least_worthy:
+            # First access is the demand fetch's own read; the second
+            # proves reuse and earns promotion to the regular pool.
+            if tsegno in self._seen_once:
+                self._least_worthy.discard(tsegno)
+                self._seen_once.discard(tsegno)
+            else:
+                self._seen_once.add(tsegno)
+
+    def on_evict(self, tsegno: int) -> None:
+        self._lru.discard(tsegno)
+        self._least_worthy.discard(tsegno)
+        self._seen_once.discard(tsegno)
+
+    def choose_victim(self, candidates: List[int]) -> Optional[int]:
+        allowed = set(candidates)
+        # Least-worthy lines first, oldest first.
+        for tsegno in self._lru:
+            if tsegno in allowed and tsegno in self._least_worthy:
+                return tsegno
+        for tsegno in self._lru:
+            if tsegno in allowed:
+                return tsegno
+        return candidates[0] if candidates else None

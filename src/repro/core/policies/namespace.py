@@ -1,0 +1,99 @@
+"""Namespace-locality migration: subtrees as units (paper §5.3).
+
+"A file namespace can identify these collections of 'related' files
+(units); such directory trees or sub-trees can be migrated to tertiary
+storage together."  The score is a "unitsize"-time product: aggregate
+size of the unit's files times the minimum time-since-last-access across
+them.  The secondary criterion handles the pathological big-unit-with-one-
+hot-file case: the access time of the unit's most-recently-accessed file
+is ignored when that file has not been *modified* recently — dormant-but-
+popular files (the paper's "popular satellite image") no longer pin their
+whole unit on disk.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.core.policies.base import (FileFacts, MigrationPolicy,
+                                      MigrationUnit, collect_file_facts)
+from repro.sim.actor import Actor
+
+
+class NamespacePolicy(MigrationPolicy):
+    """Group files into subtree units and rank by unitsize-time product."""
+
+    def __init__(self, target_bytes: int, unit_depth: int = 1,
+                 root: str = "/",
+                 age_exp: float = 1.0, size_exp: float = 1.0,
+                 ignore_hot_unmodified: float = 0.0,
+                 skip_unstable: float = 0.0) -> None:
+        if target_bytes <= 0:
+            raise ValueError("target_bytes must be positive")
+        self.target_bytes = target_bytes
+        self.unit_depth = unit_depth
+        self.root = root
+        self.age_exp = age_exp
+        self.size_exp = size_exp
+        #: Secondary criterion window: a unit's most-recently-accessed
+        #: file is dropped from the min-age computation when it was last
+        #: modified more than this many seconds ago (0 disables).
+        self.ignore_hot_unmodified = ignore_hot_unmodified
+        #: Skip units containing files modified within this window —
+        #: unstable files would scatter the unit across segments (§5.3).
+        self.skip_unstable = skip_unstable
+
+    def unit_of(self, path: str) -> str:
+        """The subtree (at unit_depth below root) that owns ``path``."""
+        rel = path[len(self.root.rstrip("/")):].lstrip("/")
+        parts = rel.split("/")
+        if len(parts) <= self.unit_depth:
+            return self.root.rstrip("/") + "/" + "/".join(parts[:-1])
+        prefix = "/".join(parts[:self.unit_depth])
+        return self.root.rstrip("/") + "/" + prefix
+
+    def _unit_age(self, now: float, members: List[FileFacts]) -> float:
+        """Minimum age over members, with the secondary criterion."""
+        considered = list(members)
+        if self.ignore_hot_unmodified and len(considered) > 1:
+            hottest = max(considered, key=lambda f: f.atime)
+            if now - hottest.mtime >= self.ignore_hot_unmodified:
+                considered.remove(hottest)
+        return min(max(0.0, now - f.atime) for f in considered)
+
+    def select(self, fs, actor: Optional[Actor] = None) -> List[MigrationUnit]:
+        actor = actor or fs.actor
+        now = actor.time
+        facts = collect_file_facts(fs, actor, self.root)
+        units: Dict[str, List[FileFacts]] = defaultdict(list)
+        for f in facts:
+            if f.is_dir or not f.disk_resident:
+                continue
+            units[self.unit_of(f.path)].append(f)
+
+        ranked = []
+        for unit_path, members in units.items():
+            if self.skip_unstable and any(
+                    now - f.mtime < self.skip_unstable for f in members):
+                continue
+            unitsize = sum(f.size for f in members)
+            if unitsize == 0:
+                continue
+            age = self._unit_age(now, members)
+            score = (age ** self.age_exp) * (float(unitsize) ** self.size_exp)
+            ranked.append((score, unit_path, members))
+        ranked.sort(key=lambda item: item[0], reverse=True)
+
+        out: List[MigrationUnit] = []
+        total = 0
+        for score, unit_path, members in ranked:
+            if total >= self.target_bytes:
+                break
+            # Cluster by position in the naming tree: stable name order
+            # keeps neighbours in the tree adjacent on the medium.
+            members.sort(key=lambda f: f.path)
+            out.append(MigrationUnit(inums=[f.inum for f in members],
+                                     tag=unit_path, score=score))
+            total += sum(f.size for f in members)
+        return out

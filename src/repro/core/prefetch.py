@@ -1,0 +1,78 @@
+"""Prefetch policies for the segment cache (paper §5.4, §5.3).
+
+"The cache may prefetch segments it expects to be needed in the near
+future.  These prefetching decisions may be based on hints left by the
+migrator when it wrote the data to tertiary storage, or ... on
+observations of recent accesses."
+
+* :class:`SequentialPrefetch` — observation-based: fetch the next N
+  tertiary segments after a miss (large files span segments in order).
+* :class:`UnitPrefetch` — hint-based: on a miss, fetch the remaining
+  segments of the migration unit the missed segment belongs to (the
+  natural prefetch for namespace-locality units, §5.3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+
+class PrefetchPolicy(ABC):
+    """Suggests extra tertiary segments to fetch after a demand miss."""
+
+    @abstractmethod
+    def after_fetch(self, fs, tsegno: int) -> List[int]:
+        """Segments worth prefetching once ``tsegno`` has been fetched."""
+
+
+class NoPrefetch(PrefetchPolicy):
+    """Fetch nothing beyond demand misses."""
+
+    def after_fetch(self, fs, tsegno: int) -> List[int]:
+        return []
+
+
+class SequentialPrefetch(PrefetchPolicy):
+    """Fetch the next ``depth`` live segments on the same volume."""
+
+    def __init__(self, depth: int = 1) -> None:
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        self.depth = depth
+
+    def after_fetch(self, fs, tsegno: int) -> List[int]:
+        vol, seg_in_vol = fs.aspace.volume_of(tsegno)
+        out = []
+        meta = fs.tsegfile.volumes[vol]
+        for nxt in range(seg_in_vol + 1, meta.nsegs):
+            if len(out) >= self.depth:
+                break
+            use = fs.tsegfile.seguse(vol, nxt)
+            if use.live_bytes <= 0:
+                break  # end of the written region
+            out.append(fs.aspace.tertiary_segno(vol, nxt))
+        return out
+
+
+class UnitPrefetch(PrefetchPolicy):
+    """Fetch the other segments of the missed segment's migration unit.
+
+    The hint table is written by the migrator at migration time
+    (tsegno -> unit tag); "if a unit is too large for a single tertiary
+    segment, a natural prefetch policy on a cache miss is to load the
+    missed segment and prefetch remaining segments of the unit" (§5.3).
+    """
+
+    def __init__(self, hint_table: Dict[int, object],
+                 max_segments: int = 8) -> None:
+        self.hint_table = hint_table
+        self.max_segments = max_segments
+
+    def after_fetch(self, fs, tsegno: int) -> List[int]:
+        tag = self.hint_table.get(tsegno)
+        if tag is None:
+            return []
+        peers = sorted(seg for seg, t in self.hint_table.items()
+                       if t == tag and seg != tsegno)
+        return peers[:self.max_segments]

@@ -1,0 +1,162 @@
+"""Segment replicas with closest-copy reads (paper §5.4, variant).
+
+"A variant on this scheme is to maintain several segment replicas on
+tertiary storage, and to have the staging code simply read the 'closest'
+copy, where close means quickest access — whether that means seeking on a
+volume already in a drive, or selecting a volume that will incur a
+shorter seek ... This problem [of liveness bookkeeping] could be
+sidestepped simply by not counting the replicas as live data."
+
+:class:`ReplicaManager` keeps the catalogue the paper calls for (tsegno ->
+replica locations), writes a replica after every primary copy-out, and
+answers "which copy is closest?" by preferring volumes already loaded in
+a drive.  Replica segments are allocated through the ordinary tsegfile
+stream but their usage entries carry no live bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TertiaryExhausted
+from repro.sim.actor import Actor
+
+
+class ReplicaManager:
+    """Maintains and serves tertiary segment replicas."""
+
+    def __init__(self, fs, copies: int = 1) -> None:
+        if copies < 1:
+            raise ValueError("need at least one replica copy")
+        self.fs = fs
+        self.copies = copies
+        #: primary tsegno -> [(volume index, seg in volume), ...]
+        self.catalog: Dict[int, List[Tuple[int, int]]] = {}
+        self.replicas_written = 0
+        self.replica_reads = 0
+
+    # -- write side -------------------------------------------------------------
+
+    def replicate(self, actor: Actor, tsegno: int) -> int:
+        """Write replica copies of a (sealed) cached segment.
+
+        Returns the number of copies written; runs after the primary
+        copy-out so the line content is final.  Exhausted tertiary space
+        simply stops replication (replicas are an optimisation).
+        """
+        fs = self.fs
+        disk_segno = fs.cache.lookup(tsegno)
+        if disk_segno is None:
+            return 0
+        image = fs.disk.read(actor, fs.aspace.seg_base(disk_segno),
+                             fs.config.blocks_per_seg)
+        written = 0
+        locations = self.catalog.setdefault(tsegno, [])
+        primary_vol, _ = fs.aspace.volume_of(tsegno)
+        used_vols = {primary_vol} | {vol for vol, _seg in locations}
+        for _ in range(self.copies - len(locations)):
+            target = self._pick_replica_volume(used_vols)
+            if target is None:
+                break
+            try:
+                vol, seg_in_vol = fs.tsegfile.alloc_segment_on(target)
+            except TertiaryExhausted:
+                break
+            used_vols.add(vol)
+            vol_id = fs.tsegfile.volumes[vol].volume_id
+            blkno = seg_in_vol * fs.aspace.blocks_per_seg
+            fs.footprint.write(actor, vol_id, blkno, image)
+            # "Not counting the replicas as live data": release the
+            # liveness the allocator assumed.
+            use = fs.tsegfile.seguse(vol, seg_in_vol)
+            use.live_bytes = 0
+            locations.append((vol, seg_in_vol))
+            written += 1
+            self.replicas_written += 1
+        return written
+
+    def _pick_replica_volume(self, exclude) -> Optional[int]:
+        """A volume with room, different from the primary's and from
+        existing copies; search from the far end so replicas stay away
+        from the migration stream's consuming volume."""
+        tseg = self.fs.tsegfile
+        for vol in range(len(tseg.volumes) - 1, -1, -1):
+            if vol in exclude:
+                continue
+            meta = tseg.volumes[vol]
+            if not meta.marked_full and meta.next_free < meta.nsegs:
+                return vol
+        return None
+
+    # -- read side ---------------------------------------------------------------
+
+    def closest_copy(self, tsegno: int) -> Optional[Tuple[int, int]]:
+        """The quickest-to-access *healthy* location holding ``tsegno``.
+
+        Preference order: the primary or any replica whose volume is
+        already loaded in a drive; otherwise the primary (or, if its
+        medium has failed, the first healthy replica — replicas are also
+        the paper's §10 answer to media-failure robustness).
+        """
+        fs = self.fs
+        primary = fs.aspace.volume_of(tsegno)
+        candidates = [primary] + self.catalog.get(tsegno, [])
+        healthy = [c for c in candidates if not self._failed(c[0])]
+        if not healthy:
+            return primary  # let the I/O raise MediaFailure
+        for vol, seg_in_vol in healthy:
+            vol_id = fs.tsegfile.volumes[vol].volume_id
+            if self._loaded(vol_id):
+                return vol, seg_in_vol
+        return healthy[0]
+
+    def _failed(self, vol: int) -> bool:
+        jukebox = getattr(self.fs.footprint, "jukebox", None)
+        if jukebox is None:
+            return False
+        vol_id = self.fs.tsegfile.volumes[vol].volume_id
+        volume = jukebox.volumes.get(vol_id)
+        return bool(volume is not None and volume.failed)
+
+    def _loaded(self, vol_id: int) -> bool:
+        jukebox = getattr(self.fs.footprint, "jukebox", None)
+        if jukebox is None:
+            return False
+        return jukebox.drive_holding(vol_id) is not None
+
+    def fetch_closest(self, actor: Actor, tsegno: int,
+                      disk_segno: int) -> None:
+        """Fetch ``tsegno`` into a cache line from its closest copy."""
+        fs = self.fs
+        vol, seg_in_vol = self.closest_copy(tsegno)
+        vol_id = fs.tsegfile.volumes[vol].volume_id
+        blkno = seg_in_vol * fs.aspace.blocks_per_seg
+        image = fs.footprint.read(actor, vol_id, blkno,
+                                  fs.aspace.blocks_per_seg)
+        fs.disk.write(actor, fs.aspace.seg_base(disk_segno), image)
+        if (vol, seg_in_vol) != fs.aspace.volume_of(tsegno):
+            self.replica_reads += 1
+
+    def install(self, migrator) -> None:
+        """Hook into the pipeline: replicate after each sync writeout and
+        serve demand fetches from the closest copy."""
+        fs = self.fs
+        service = fs.service
+        original_writeout = migrator.writeout
+
+        def replicated_writeout(actor: Actor, tsegno: int) -> None:
+            original_writeout(actor, tsegno)
+            self.replicate(actor, tsegno)
+
+        migrator.writeout = replicated_writeout
+        original_fetch = fs.ioserver.fetch
+
+        def closest_fetch(actor: Actor, tsegno: int,
+                          disk_segno: int) -> None:
+            if tsegno in self.catalog:
+                self.fetch_closest(actor, tsegno, disk_segno)
+                fs.ioserver.segments_fetched += 1
+            else:
+                original_fetch(actor, tsegno, disk_segno)
+
+        fs.ioserver.fetch = closest_fetch

@@ -1,0 +1,139 @@
+"""The service process: the kernel's user-space agent for tertiary I/O.
+
+"The service process waits for requests from either the kernel or from the
+I/O process: ... the fetch of a non-resident tertiary segment, the
+ejection of some cached line, or a write to tertiary storage of a
+freshly-assembled tertiary segment" (paper §6.7).
+
+Demand fetches are synchronous from the faulting application's point of
+view — the kernel puts the process to sleep until the service process
+completes the fetch — so here the requesting actor is charged the whole
+excursion.  Segment write-outs are asynchronous in the paper ("the request
+is serviced asynchronously"); the pipelined form lives in
+:class:`~repro.core.migrator.MigrationPipeline`, while this class offers
+the synchronous building blocks both modes share.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import EndOfMedium, MigrationError
+from repro.sim.actor import Actor
+
+
+class ServiceProcess:
+    """Coordinates the segment cache, the I/O server, and Footprint."""
+
+    def __init__(self, fs, ioserver, cache,
+                 request_overhead: float = 0.04,
+                 prefetcher=None) -> None:
+        self.fs = fs
+        self.ioserver = ioserver
+        self.cache = cache
+        #: Kernel<->service round trip cost per request (ioctl + select
+        #: wakeup on the paper's host).
+        self.request_overhead = request_overhead
+        self.prefetcher = prefetcher
+        #: Installed by the Migrator: re-stages a line after EndOfMedium.
+        self.restage_handler: Optional[Callable[[Actor, int], int]] = None
+        #: Actor that pays for prefetch I/O (it runs alongside the app).
+        self.prefetch_actor = Actor("prefetcher")
+
+    # -- demand fetch ------------------------------------------------------------
+
+    def demand_fetch(self, actor: Actor, tsegno: int) -> int:
+        """Bring ``tsegno`` into the cache; returns its disk segment.
+
+        The faulting actor pays: request hand-off, line acquisition
+        (possibly an ejection), the Footprint read, and the raw disk write.
+        """
+        existing = self.cache.lookup(tsegno)
+        if existing is not None:
+            return existing
+        actor.sleep(self.request_overhead)
+        disk_segno = self.cache.acquire_line(actor)
+        self.ioserver.fetch(actor, tsegno, disk_segno)
+        self.cache.register(tsegno, disk_segno, actor)
+        self.fs.stats.demand_fetches += 1
+        return disk_segno
+
+    def after_miss(self, actor: Actor, tsegno: int) -> None:
+        """Post-fault hook: start prefetching once the faulting read has
+        its data, so prefetch I/O never sits between the application and
+        the block it faulted on."""
+        if self.prefetcher is not None:
+            self._run_prefetch(actor, tsegno)
+
+    def _run_prefetch(self, actor: Actor, tsegno: int) -> None:
+        # Prefetches run on their own actor: they occupy real device time
+        # (and can thus delay the application's next miss) but do not
+        # block the current fault.
+        self.prefetch_actor.sleep_until(actor.time)
+        for extra in self.prefetcher.after_fetch(self.fs, tsegno):
+            if self.cache.contains(extra):
+                continue
+            try:
+                line = self.cache.acquire_line(self.prefetch_actor)
+            except MigrationError:
+                break
+            self.ioserver.fetch(self.prefetch_actor, extra, line)
+            self.cache.register(extra, line, self.prefetch_actor)
+
+    # -- write-out ---------------------------------------------------------------
+
+    def writeout_line(self, actor: Actor, tsegno: int) -> None:
+        """Copy a staged line to tertiary storage, handling end-of-medium."""
+        for _ in self.writeout_line_steps(actor, tsegno):
+            pass
+
+    def writeout_line_steps(self, actor: Actor, tsegno: int):
+        """Generator form of :meth:`writeout_line` (one yield per raw-disk
+        chunk, for scheduler interleaving)."""
+        disk_segno = self.cache.lookup(tsegno)
+        if disk_segno is None:
+            raise MigrationError(f"tertiary segment {tsegno} has no line")
+        actor.sleep(self.request_overhead)
+        try:
+            yield from self.ioserver.writeout_steps(actor, disk_segno, tsegno)
+        except EndOfMedium:
+            self._handle_end_of_medium(actor, tsegno)
+            return
+        self.cache.seal_staging(tsegno)
+
+    def _handle_end_of_medium(self, actor: Actor, tsegno: int) -> None:
+        """Volume filled early: mark it full, restage on the next volume.
+
+        Paper §6.3: "the volume is marked full and the last (partially
+        written) segment is re-written onto the next volume."
+        """
+        vol, _seg = self.fs.aspace.volume_of(tsegno)
+        vol_id = self.fs.tsegfile.volumes[vol].volume_id
+        self.fs.tsegfile.mark_volume_full(vol)
+        self.ioserver.footprint.mark_full(vol_id)
+        if self.restage_handler is None:
+            raise MigrationError(
+                f"volume {vol_id} hit end-of-medium and no migrator is "
+                "available to restage the segment")
+        new_tsegno = self.restage_handler(actor, tsegno)
+        self.writeout_line(actor, new_tsegno)
+
+    # -- ejection ----------------------------------------------------------------
+
+    def eject(self, actor: Actor, tsegno: int, force_copyout: bool = True) -> None:
+        """Eject a cache line, copying a staging line out first."""
+        if self.cache.is_staging(tsegno):
+            if not force_copyout:
+                raise MigrationError(
+                    f"segment {tsegno} is staging and copy-out was refused")
+            self.writeout_line(actor, tsegno)
+        actor.sleep(self.request_overhead)
+        self.cache.eject(tsegno)
+
+    def flush_cache(self, actor: Actor) -> int:
+        """Eject every line (copying out any staging lines); returns count."""
+        count = 0
+        for tsegno in list(self.cache.lines()):
+            self.eject(actor, tsegno)
+            count += 1
+        return count

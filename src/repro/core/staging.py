@@ -1,0 +1,149 @@
+"""Staging segments: fresh tertiary segments assembled in disk cache lines.
+
+"The to-be-migrated data are moved to an LFS segment in a staging area ...
+assembled on-disk in a dirty cache line, using the same mechanism used by
+the cleaner ... addressed by the block numbers the segment will use on the
+tertiary volume" (paper §4, §6.2).  Block content accumulates in memory
+and is spilled to the disk line in chunks (those spills are the migrator's
+share of the Table 6 arm contention); the summary block is written last,
+once the catalogue and checksums are final.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import InvalidArgument
+from repro.lfs.constants import BLOCK_SIZE
+from repro.lfs.inode import Inode, pack_inode_block
+from repro.lfs.summary import FileInfo, SegmentSummary
+from repro.sim.actor import Actor
+
+
+class StagingBuilder:
+    """Assembles one tertiary segment inside a disk cache line."""
+
+    def __init__(self, fs, tsegno: int, disk_segno: int,
+                 spill_chunk_blocks: int = 16) -> None:
+        self.fs = fs
+        self.tsegno = tsegno
+        self.disk_segno = disk_segno
+        self.spill_chunk_blocks = spill_chunk_blocks
+        self.summary = SegmentSummary()
+        self.blocks: List[bytes] = []        # all payload blocks, in order
+        self.inode_daddr_slots: List[int] = []
+        self._spilled = 0                    # payload blocks already on disk
+        self.finalized = False
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def _bps(self) -> int:
+        return self.fs.config.blocks_per_seg
+
+    @property
+    def tseg_base(self) -> int:
+        return self.fs.aspace.seg_base(self.tsegno)
+
+    @property
+    def line_base(self) -> int:
+        return self.fs.aspace.seg_base(self.disk_segno)
+
+    def payload_capacity(self) -> int:
+        return self._bps - 1  # one block reserved for the summary
+
+    def is_full(self) -> bool:
+        return len(self.blocks) >= self.payload_capacity()
+
+    def room_for_block(self, inum: int) -> bool:
+        if self.is_full():
+            return False
+        new_file = (not self.summary.finfos
+                    or self.summary.finfos[-1].ino != inum)
+        return self.summary.fits(self.fs.config.summary_size,
+                                 extra_file=new_file, extra_blocks=1)
+
+    def room_for_inode_block(self) -> bool:
+        if self.is_full():
+            return False
+        return self.summary.fits(self.fs.config.summary_size,
+                                 extra_inoblk=True)
+
+    # -- adders -------------------------------------------------------------------
+
+    def add_block(self, inum: int, lbn: int, data: bytes,
+                  lastlength: int = BLOCK_SIZE) -> int:
+        """Append a file/indirect block; returns its *tertiary* address."""
+        if self.finalized:
+            raise InvalidArgument("staging segment already finalized")
+        if not self.room_for_block(inum):
+            raise InvalidArgument("staging segment is full")
+        daddr = self.tseg_base + 1 + len(self.blocks)
+        if self.summary.finfos and self.summary.finfos[-1].ino == inum:
+            fi = self.summary.finfos[-1]
+            fi.blocks.append(lbn)
+            fi.lastlength = lastlength
+        else:
+            self.summary.finfos.append(FileInfo(inum, lastlength, [lbn]))
+        self.blocks.append(data)
+        return daddr
+
+    def add_inode_block(self, inodes: List[Inode]) -> int:
+        """Append an inode block; returns its tertiary address."""
+        if self.finalized:
+            raise InvalidArgument("staging segment already finalized")
+        if not self.room_for_inode_block():
+            raise InvalidArgument("staging segment is full")
+        daddr = self.tseg_base + 1 + len(self.blocks)
+        self.blocks.append(pack_inode_block(inodes))
+        self.summary.inode_daddrs.append(daddr)
+        self.inode_daddr_slots.append(len(self.blocks) - 1)
+        return daddr
+
+    # -- spilling to the disk line ---------------------------------------------------
+
+    def pending_spill_blocks(self) -> int:
+        return len(self.blocks) - self._spilled
+
+    def spill(self, actor: Actor, all_pending: bool = False) -> bool:
+        """Write buffered payload blocks to the disk line.
+
+        Returns True if a disk write happened.  Spills happen one chunk at
+        a time unless ``all_pending`` forces a complete drain.
+        """
+        wrote = False
+        while (self.pending_spill_blocks() >= self.spill_chunk_blocks
+               or (all_pending and self.pending_spill_blocks() > 0)):
+            take = min(self.spill_chunk_blocks, self.pending_spill_blocks())
+            chunk = b"".join(
+                self.blocks[self._spilled:self._spilled + take])
+            # Cleaner-style gather copy, then the raw write to the line.
+            self.fs.cpu.copy(actor, len(chunk))
+            self.fs.disk.write(actor,
+                               self.line_base + 1 + self._spilled, chunk)
+            self._spilled += take
+            wrote = True
+            if not all_pending:
+                break
+        return wrote
+
+    # -- finalisation ------------------------------------------------------------------
+
+    def finalize(self, actor: Actor,
+                 next_tseg_daddr: Optional[int] = None) -> None:
+        """Drain spills, then write the summary block at the line head."""
+        if self.finalized:
+            return
+        self.spill(actor, all_pending=True)
+        self.summary.create = actor.time
+        if next_tseg_daddr is not None:
+            self.summary.next_daddr = next_tseg_daddr
+        self.summary.compute_datasum(self.blocks)
+        raw = self.summary.pack(self.fs.config.summary_size)
+        self.fs.cpu.copy(actor, BLOCK_SIZE)
+        self.fs.disk.write(actor, self.line_base,
+                           raw.ljust(BLOCK_SIZE, b"\0"))
+        self.finalized = True
+
+    def used_bytes(self) -> int:
+        return (1 + len(self.blocks)) * BLOCK_SIZE

@@ -1,0 +1,117 @@
+"""Exception hierarchy for the HighLight reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate between filesystem-level, device-level, and
+policy-level faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Device layer
+# --------------------------------------------------------------------------
+
+class DeviceError(ReproError):
+    """Base class for block-device faults."""
+
+
+class AddressError(DeviceError):
+    """A block address fell outside every device, or inside the dead zone."""
+
+
+class EndOfMedium(DeviceError):
+    """A write ran past the physical end of a tertiary volume.
+
+    HighLight handles this by marking the volume full and re-writing the
+    partially-written segment onto the next volume (paper section 6.3).
+    """
+
+
+class VolumeNotLoaded(DeviceError):
+    """An I/O was issued to a jukebox volume that is not in any drive."""
+
+
+class NoSuchVolume(DeviceError):
+    """A volume identifier does not exist in the jukebox."""
+
+
+class DriveBusy(DeviceError):
+    """All drives in a jukebox are pinned and none can be reallocated."""
+
+
+class MediaFailure(DeviceError):
+    """Injected media failure (used by fault-injection tests)."""
+
+
+class ReadOnlyMedium(DeviceError):
+    """A write was issued to a write-once (WORM) region that already holds data."""
+
+
+# --------------------------------------------------------------------------
+# Filesystem layer
+# --------------------------------------------------------------------------
+
+class FilesystemError(ReproError):
+    """Base class for filesystem faults."""
+
+
+class NoSpace(FilesystemError):
+    """The log ran out of clean segments (ENOSPC analogue)."""
+
+
+class FileNotFound(FilesystemError):
+    """Path or inode lookup failed (ENOENT analogue)."""
+
+
+class FileExists(FilesystemError):
+    """Attempt to create an entry that already exists (EEXIST analogue)."""
+
+
+class NotADirectory(FilesystemError):
+    """Path component was not a directory (ENOTDIR analogue)."""
+
+
+class IsADirectory(FilesystemError):
+    """File operation applied to a directory (EISDIR analogue)."""
+
+
+class DirectoryNotEmpty(FilesystemError):
+    """rmdir of a non-empty directory (ENOTEMPTY analogue)."""
+
+
+class InvalidArgument(FilesystemError):
+    """Malformed request (EINVAL analogue)."""
+
+
+class ChecksumError(FilesystemError):
+    """A summary or data checksum failed verification during recovery."""
+
+
+class CorruptFilesystem(FilesystemError):
+    """On-media structures are inconsistent beyond recovery."""
+
+
+# --------------------------------------------------------------------------
+# HighLight / migration layer
+# --------------------------------------------------------------------------
+
+class MigrationError(ReproError):
+    """Base class for migration pipeline faults."""
+
+
+class CacheMiss(MigrationError):
+    """Internal signal: a tertiary block has no disk-cached copy."""
+
+
+class StagingFull(MigrationError):
+    """No disk segment is available to host a new staging segment."""
+
+
+class TertiaryExhausted(MigrationError):
+    """All tertiary volumes are full and no cleaner has reclaimed space."""

@@ -1,0 +1,70 @@
+"""The abstract Footprint API.
+
+HighLight sees tertiary storage as "an array of devices each holding an
+array of media volumes, each of which contains an array of segments"
+(paper §6.5).  Footprint exposes exactly that: volume inventory and
+capacities, plus block-addressed reads and writes within a volume.  The
+paper notes the interface "could be implemented by an RPC system" to put
+the jukebox on another machine; the abstraction boundary here is drawn so
+that would be a drop-in replacement.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.actor import Actor
+
+
+@dataclass(frozen=True)
+class VolumeInfo:
+    """What Footprint publishes about one volume."""
+
+    volume_id: int
+    capacity_blocks: int        # nominal
+    effective_capacity_blocks: int  # what the device expects to really fit
+    block_size: int
+    write_once: bool
+    marked_full: bool
+
+
+class FootprintInterface(ABC):
+    """Segment/block-granular access to robotic tertiary storage."""
+
+    @abstractmethod
+    def volumes(self) -> List[VolumeInfo]:
+        """Inventory of all volumes this Footprint instance controls."""
+
+    @abstractmethod
+    def volume_info(self, volume_id: int) -> VolumeInfo:
+        """Metadata for one volume."""
+
+    @abstractmethod
+    def read(self, actor: Actor, volume_id: int, blkno: int,
+             nblocks: int) -> bytes:
+        """Read blocks from a volume, loading it into a drive if needed."""
+
+    @abstractmethod
+    def write(self, actor: Actor, volume_id: int, blkno: int,
+              data: bytes) -> None:
+        """Write blocks to a volume.
+
+        Raises :class:`repro.errors.EndOfMedium` if the volume fills; the
+        caller (HighLight's I/O server) marks the volume full and re-issues
+        the segment on the next volume.
+        """
+
+    @abstractmethod
+    def mark_full(self, volume_id: int) -> None:
+        """Record that a volume hit end-of-medium."""
+
+    @abstractmethod
+    def pin_write_drive(self, volume_id: int) -> None:
+        """Dedicate a drive to the currently-active writing volume.
+
+        Mirrors the paper's test configuration: "one drive was allocated
+        for the currently-active writing segment, and the other for
+        reading other platters."
+        """

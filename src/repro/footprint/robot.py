@@ -1,0 +1,80 @@
+"""Footprint implementation over the jukebox simulators."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.blockdev.jukebox import Jukebox
+from repro.errors import NoSuchVolume
+from repro.footprint.interface import FootprintInterface, VolumeInfo
+from repro.sim.actor import Actor
+
+
+class JukeboxFootprint(FootprintInterface):
+    """Drives a :class:`~repro.blockdev.jukebox.Jukebox` behind the
+    Footprint API.
+
+    Implements the paper's drive-allocation policy: one drive may be pinned
+    to the active writing volume; reads for *other* volumes go to the
+    remaining drives, but reads that hit the writing volume are served by
+    the writing drive itself ("the writing drive also fulfilled any read
+    requests for its platter").
+    """
+
+    def __init__(self, jukebox: Jukebox) -> None:
+        self.jukebox = jukebox
+        self._write_drive: Optional[int] = None
+        self._write_volume: Optional[int] = None
+
+    # -- inventory ----------------------------------------------------------
+
+    def _info(self, volume_id: int) -> VolumeInfo:
+        vol = self.jukebox.volume(volume_id)
+        return VolumeInfo(
+            volume_id=vol.volume_id,
+            capacity_blocks=vol.capacity_blocks,
+            effective_capacity_blocks=vol.effective_capacity_blocks,
+            block_size=vol.block_size,
+            write_once=vol.write_once,
+            marked_full=vol.marked_full,
+        )
+
+    def volumes(self) -> List[VolumeInfo]:
+        return [self._info(vid) for vid in sorted(self.jukebox.volumes)]
+
+    def volume_info(self, volume_id: int) -> VolumeInfo:
+        return self._info(volume_id)
+
+    # -- drive policy ---------------------------------------------------------
+
+    def pin_write_drive(self, volume_id: int) -> None:
+        if volume_id not in self.jukebox.volumes:
+            raise NoSuchVolume(f"no volume {volume_id}")
+        if self._write_drive is not None:
+            self.jukebox.drives[self._write_drive].pinned = False
+        self._write_volume = volume_id
+        self._write_drive = None  # lazily bound on the first write
+
+    def _drive_for(self, actor: Actor, volume_id: int,
+                   is_write: bool) -> int:
+        if volume_id == self._write_volume:
+            if self._write_drive is None:
+                self._write_drive = self.jukebox.load(actor, volume_id)
+                self.jukebox.drives[self._write_drive].pinned = True
+            return self.jukebox.load(actor, volume_id, self._write_drive)
+        return self.jukebox.load(actor, volume_id)
+
+    # -- I/O ----------------------------------------------------------------
+
+    def read(self, actor: Actor, volume_id: int, blkno: int,
+             nblocks: int) -> bytes:
+        idx = self._drive_for(actor, volume_id, is_write=False)
+        return self.jukebox.drives[idx].read(actor, blkno, nblocks)
+
+    def write(self, actor: Actor, volume_id: int, blkno: int,
+              data: bytes) -> None:
+        idx = self._drive_for(actor, volume_id, is_write=True)
+        self.jukebox.drives[idx].write(actor, blkno, data)
+
+    def mark_full(self, volume_id: int) -> None:
+        self.jukebox.volume(volume_id).marked_full = True

@@ -1,0 +1,132 @@
+"""The block buffer cache.
+
+Keyed by (inum, logical block); dirty blocks are pinned until the segment
+writer relocates them to the log.  The paper's test machine had 3.2 MB of
+buffer cache and the benchmarks flush it before every phase — both
+behaviours are supported.  Charging of per-block CPU time happens in the
+filesystem layer, not here; this structure is pure bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidArgument
+from repro.lfs.constants import BLOCK_SIZE
+from repro.util.lru import LRUTracker
+from repro.util.units import MB
+
+BufKey = Tuple[int, int]  # (inum, logical block number)
+
+
+class Buffer:
+    """One cached block."""
+
+    __slots__ = ("key", "data", "dirty")
+
+    def __init__(self, key: BufKey, data: bytes, dirty: bool = False) -> None:
+        if len(data) != BLOCK_SIZE:
+            raise InvalidArgument(
+                f"buffer must be {BLOCK_SIZE}B, got {len(data)}")
+        self.key = key
+        self.data = data
+        self.dirty = dirty
+
+
+class BufferCache:
+    """A size-capped LRU cache of file blocks."""
+
+    def __init__(self, capacity_bytes: int = int(3.2 * MB)) -> None:
+        self.capacity_blocks = max(8, capacity_bytes // BLOCK_SIZE)
+        self._bufs: Dict[BufKey, Buffer] = {}
+        self._lru: LRUTracker[BufKey] = LRUTracker()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._bufs)
+
+    def dirty_count(self) -> int:
+        return sum(1 for b in self._bufs.values() if b.dirty)
+
+    # -- lookup/insert -----------------------------------------------------
+
+    def get(self, key: BufKey) -> Optional[bytes]:
+        buf = self._bufs.get(key)
+        if buf is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._lru.touch(key)
+        return buf.data
+
+    def peek(self, key: BufKey) -> Optional[bytes]:
+        """Lookup without recency update or hit accounting."""
+        buf = self._bufs.get(key)
+        return buf.data if buf is not None else None
+
+    def put(self, key: BufKey, data: bytes, dirty: bool) -> None:
+        """Insert/overwrite a block; evicts clean LRU blocks to make room."""
+        existing = self._bufs.get(key)
+        if existing is not None:
+            existing.data = data
+            existing.dirty = existing.dirty or dirty
+            self._lru.touch(key)
+            return
+        self._evict_for_room()
+        self._bufs[key] = Buffer(key, data, dirty)
+        self._lru.touch(key)
+
+    def mark_clean(self, key: BufKey) -> None:
+        buf = self._bufs.get(key)
+        if buf is not None:
+            buf.dirty = False
+
+    def is_dirty(self, key: BufKey) -> bool:
+        buf = self._bufs.get(key)
+        return buf.dirty if buf is not None else False
+
+    def _evict_for_room(self) -> None:
+        while len(self._bufs) >= self.capacity_blocks:
+            victim = None
+            for key in self._lru:  # least- to most-recently used
+                if not self._bufs[key].dirty:
+                    victim = key
+                    break
+            if victim is None:
+                return  # everything dirty: caller must flush soon
+            self._lru.discard(victim)
+            del self._bufs[victim]
+
+    # -- bulk operations -------------------------------------------------------
+
+    def dirty_buffers(self) -> List[Buffer]:
+        """All dirty buffers (segment-writer input), LRU-first."""
+        return [self._bufs[k] for k in self._lru if self._bufs[k].dirty]
+
+    def dirty_for_inode(self, inum: int) -> List[Buffer]:
+        return [b for b in self._bufs.values()
+                if b.dirty and b.key[0] == inum]
+
+    def invalidate(self, key: BufKey) -> None:
+        """Drop one block regardless of state (truncate/unlink path)."""
+        self._bufs.pop(key, None)
+        self._lru.discard(key)
+
+    def invalidate_inode(self, inum: int) -> None:
+        for key in [k for k in self._bufs if k[0] == inum]:
+            self.invalidate(key)
+
+    def drop_clean(self) -> int:
+        """Flush-benchmark helper: discard every clean block."""
+        victims = [k for k, b in self._bufs.items() if not b.dirty]
+        for key in victims:
+            self.invalidate(key)
+        return len(victims)
+
+    def keys(self) -> Iterator[BufKey]:
+        return iter(list(self._bufs.keys()))
+
+    def needs_flush(self, fraction: float = 0.5) -> bool:
+        """True when dirty blocks crowd the cache (segment-write trigger)."""
+        return self.dirty_count() >= self.capacity_blocks * fraction

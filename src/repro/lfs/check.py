@@ -1,0 +1,210 @@
+"""A consistency checker for mounted filesystems (the fsck analogue).
+
+LFS recovery is roll-forward rather than scan-and-repair, but a checker
+is still invaluable for testing: after any stress sequence (churn,
+cleaning, migration, crashes) the invariants verified here must hold.
+
+Checks, for plain LFS:
+
+* every imap entry's device address lands in a tracked segment and the
+  inode block there really contains the inode (with matching inum);
+* every reachable file's block pointers land in tracked segments, and no
+  two live blocks share a device address;
+* directory tree connectivity: every allocated inode is reachable from
+  the root (the ifile and other pinned files excepted);
+* per-segment live-byte counts never exceed the segment size, clean
+  segments hold no live pointers, and exactly one segment is active.
+
+For HighLight, additionally:
+
+* cache directory and ifile SEG_CACHED flags/tags agree both ways;
+* tertiary pointers land on allocated tertiary segments;
+* tsegfile allocation cursors are within bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.lfs.constants import (BLOCK_SIZE, IFILE_INUM, ROOT_INUM,
+                                 UNASSIGNED)
+from repro.lfs.inode import find_inode_in_block
+from repro.sim.actor import Actor
+
+
+@dataclass
+class CheckReport:
+    """Findings of one consistency check."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    files_checked: int = 0
+    blocks_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def render(self) -> str:
+        lines = [f"fsck: {self.files_checked} files, "
+                 f"{self.blocks_checked} blocks"]
+        lines += [f"  ERROR: {e}" for e in self.errors]
+        lines += [f"  warn:  {w}" for w in self.warnings]
+        lines.append("  clean" if self.ok else "  INCONSISTENT")
+        return "\n".join(lines)
+
+
+def _segment_valid(fs, daddr: int) -> bool:
+    try:
+        segno = fs.segno_of(daddr)
+    except Exception:
+        return False
+    if fs.is_disk_segno(segno):
+        return True
+    aspace = getattr(fs, "aspace", None)
+    return aspace is not None and aspace.is_tertiary_segno(segno)
+
+
+def check_filesystem(fs, actor: Actor | None = None) -> CheckReport:
+    """Verify the invariants described in the module docstring."""
+    actor = actor or fs.actor
+    report = CheckReport()
+    seen_daddrs: Dict[int, Tuple[int, int]] = {}
+
+    # Pass 1: namespace walk — reachability + per-file block checks.
+    reachable: Set[int] = set()
+    stack = [("/", ROOT_INUM)]
+    while stack:
+        path, inum = stack.pop()
+        if inum in reachable:
+            report.error(f"directory loop or double link at {path}")
+            continue
+        reachable.add(inum)
+        try:
+            ino = fs.get_inode(inum, actor)
+        except Exception as exc:
+            report.error(f"{path}: unreadable inode {inum}: {exc}")
+            continue
+        report.files_checked += 1
+        _check_file_blocks(fs, actor, path, ino, seen_daddrs, report)
+        if ino.is_dir():
+            try:
+                names = fs.readdir(path, actor)
+            except Exception as exc:
+                report.error(f"{path}: unreadable directory: {exc}")
+                continue
+            for name in names:
+                child = (path.rstrip("/") + "/" + name)
+                try:
+                    stack.append((child, fs.lookup(child, actor)))
+                except Exception as exc:
+                    report.error(f"{child}: broken entry: {exc}")
+
+    # Pass 2: imap — addresses point at blocks containing the inode.
+    for inum, entry in sorted(fs.ifile.imap.items()):
+        if entry.daddr == UNASSIGNED:
+            continue  # freed
+        if not _segment_valid(fs, entry.daddr):
+            report.error(f"inode {inum}: imap daddr {entry.daddr} "
+                         "outside any tracked segment")
+            continue
+        try:
+            raw = fs.dev_read(actor, entry.daddr, 1)
+            find_inode_in_block(raw, inum)
+        except Exception as exc:
+            report.error(f"inode {inum}: not found at imap daddr "
+                         f"{entry.daddr}: {exc}")
+        if inum not in reachable and inum not in getattr(
+                fs, "pinned_inums", {IFILE_INUM}):
+            report.warn(f"inode {inum} allocated but unreachable "
+                        "(orphan)")
+
+    # Pass 3: segment usage invariants.
+    active = 0
+    for segno, seg in enumerate(fs.ifile.segs):
+        if seg.live_bytes > fs.config.segment_size:
+            report.error(f"segment {segno}: live bytes "
+                         f"{seg.live_bytes} exceed segment size")
+        if seg.is_active():
+            active += 1
+        if seg.is_clean() and seg.is_dirty():
+            report.error(f"segment {segno}: both clean and dirty")
+    if active != 1:
+        report.error(f"{active} active segments (expected exactly 1)")
+    clean_with_live = [
+        segno for segno, count in _live_per_segment(fs, seen_daddrs).items()
+        if fs.is_disk_segno(segno) and fs.ifile.seguse(segno).is_clean()]
+    for segno in clean_with_live:
+        report.error(f"segment {segno}: clean but holds live blocks")
+
+    if getattr(fs, "cache", None) is not None:
+        _check_highlight(fs, report)
+    return report
+
+
+def _check_file_blocks(fs, actor, path, ino, seen_daddrs, report) -> None:
+    nblocks = (ino.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+    for lbn in range(nblocks):
+        try:
+            daddr = fs.bmap(ino, lbn, actor)
+        except Exception as exc:
+            report.error(f"{path}: bmap({lbn}) failed: {exc}")
+            continue
+        if daddr == UNASSIGNED:
+            continue  # hole
+        report.blocks_checked += 1
+        if not _segment_valid(fs, daddr):
+            report.error(f"{path}: block {lbn} at {daddr} outside any "
+                         "tracked segment")
+            continue
+        owner = seen_daddrs.get(daddr)
+        if owner is not None and owner != (ino.inum, lbn):
+            report.error(f"{path}: block {lbn} at {daddr} already owned "
+                         f"by inode {owner[0]} lbn {owner[1]}")
+        seen_daddrs[daddr] = (ino.inum, lbn)
+
+
+def _live_per_segment(fs, seen_daddrs) -> Dict[int, int]:
+    per_seg: Dict[int, int] = {}
+    for daddr in seen_daddrs:
+        try:
+            segno = fs.segno_of(daddr)
+        except Exception:
+            continue
+        per_seg[segno] = per_seg.get(segno, 0) + 1
+    return per_seg
+
+
+def _check_highlight(fs, report: CheckReport) -> None:
+    # Cache directory <-> ifile flags, both directions.
+    for tsegno in fs.cache.lines():
+        disk_segno = fs.cache.lookup(tsegno)
+        seg = fs.ifile.seguse(disk_segno)
+        if not seg.is_cached():
+            report.error(f"cache line {disk_segno} (tertiary {tsegno}) "
+                         "not flagged SEG_CACHED")
+        if seg.cache_tag != tsegno:
+            report.error(f"cache line {disk_segno}: tag {seg.cache_tag} "
+                         f"!= directory entry {tsegno}")
+    for disk_segno, seg in enumerate(fs.ifile.segs):
+        if seg.is_cached():
+            if fs.cache.lookup(seg.cache_tag) != disk_segno:
+                report.error(f"segment {disk_segno} flagged cached but "
+                             "absent from the cache directory")
+    # Tertiary allocation cursors.
+    for vol, meta in enumerate(fs.tsegfile.volumes):
+        if not 0 <= meta.next_free <= meta.nsegs:
+            report.error(f"volume {vol}: next_free {meta.next_free} "
+                         f"out of range [0, {meta.nsegs}]")
+        for seg_in_vol in range(meta.next_free, meta.nsegs):
+            use = fs.tsegfile.seguse(vol, seg_in_vol)
+            if use.live_bytes:
+                report.error(f"volume {vol} seg {seg_in_vol}: live bytes "
+                             "beyond the allocation cursor")

@@ -1,0 +1,159 @@
+"""Log inspection utilities: render on-media structures for humans.
+
+The debugging companion every log-structured filesystem grows: walk the
+threaded log, print partial-segment catalogues, decode inode blocks, and
+summarise segment states — all from the medium, independent of in-memory
+state (so it is also useful against a crashed image).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lfs.constants import BLOCK_SIZE, UNASSIGNED
+from repro.lfs.ifile import (SEG_ACTIVE, SEG_CACHED, SEG_CLEAN, SEG_DIRTY,
+                             SEG_STAGING)
+from repro.lfs.inode import Inode, unpack_inode_block
+from repro.lfs.summary import SS_DIROP, SegmentSummary
+from repro.lfs.superblock import Superblock
+from repro.sim.actor import Actor
+
+
+@dataclass
+class PartialInfo:
+    """One decoded partial segment."""
+
+    daddr: int
+    summary: SegmentSummary
+    inodes: List[Inode] = field(default_factory=list)
+
+    @property
+    def nblocks(self) -> int:
+        return (1 + self.summary.ndata_blocks()
+                + len(self.summary.inode_daddrs))
+
+    def describe(self) -> str:
+        files = ", ".join(
+            f"ino {fi.ino}:{len(fi.blocks)}blk" for fi in
+            self.summary.finfos) or "no file blocks"
+        flags = " [dirop]" if self.summary.flags & SS_DIROP else ""
+        inos = (f"; inodes {[i.inum for i in self.inodes]}"
+                if self.inodes else "")
+        return (f"partial @{self.daddr} ({self.nblocks} blocks){flags}: "
+                f"{files}{inos} -> next {self.summary.next_daddr}")
+
+
+def read_superblock(device, actor: Optional[Actor] = None) -> Superblock:
+    """Decode the superblock straight from a device."""
+    actor = actor or Actor("dump")
+    return Superblock.unpack(device.read(actor, Superblock.LOCATION, 1))
+
+
+def walk_log(fs, start_daddr: Optional[int] = None,
+             actor: Optional[Actor] = None,
+             max_partials: int = 10_000) -> Iterator[PartialInfo]:
+    """Follow the threaded log from ``start_daddr`` (default: the latest
+    checkpoint's position is *not* used — walking starts at segment 0's
+    base unless told otherwise), yielding decoded partial segments."""
+    actor = actor or fs.actor
+    pos = fs.seg_base(0) if start_daddr is None else start_daddr
+    seen = set()
+    for _ in range(max_partials):
+        if pos in seen or pos == UNASSIGNED:
+            return
+        seen.add(pos)
+        try:
+            raw = fs.dev_read(actor, pos, 1)
+        except Exception:
+            return
+        summary = SegmentSummary.try_unpack(raw, fs.config.summary_size)
+        if summary is None:
+            return
+        info = PartialInfo(pos, summary)
+        for daddr in summary.inode_daddrs:
+            try:
+                blk = fs.dev_read(actor, daddr, 1)
+            except Exception:
+                continue
+            info.inodes.extend(unpack_inode_block(blk))
+        yield info
+        pos = summary.next_daddr
+
+
+def segment_map(fs, limit: Optional[int] = None) -> str:
+    """A one-line-per-segment state map (the Figure 1/3 view)."""
+    rows = []
+    segs = fs.ifile.segs if limit is None else fs.ifile.segs[:limit]
+    for segno, seg in enumerate(segs):
+        letters = "".join(letter for flag, letter in (
+            (SEG_CLEAN, "c"), (SEG_DIRTY, "d"), (SEG_ACTIVE, "a"),
+            (SEG_CACHED, "C"), (SEG_STAGING, "S"))
+            if seg.flags & flag) or "-"
+        tag = (f" tag={seg.cache_tag}"
+               if seg.cache_tag != UNASSIGNED else "")
+        rows.append(f"seg {segno:>4} [{letters:<3}] "
+                    f"live {seg.live_bytes:>8}{tag}")
+    return "\n".join(rows)
+
+
+def dump_inode(ino: Inode) -> str:
+    """Human rendering of one inode."""
+    kind = "dir" if ino.is_dir() else "reg"
+    directs = [d for d in ino.db if d != UNASSIGNED]
+    lines = [
+        f"inode {ino.inum} ({kind}) size={ino.size} nlink={ino.nlink}",
+        f"  times: a={ino.atime:.2f} m={ino.mtime:.2f} c={ino.ctime:.2f}",
+        f"  direct blocks: {directs or 'none'}",
+    ]
+    if ino.ib[0] != UNASSIGNED:
+        lines.append(f"  single indirect @ {ino.ib[0]}")
+    if ino.ib[1] != UNASSIGNED:
+        lines.append(f"  double indirect @ {ino.ib[1]}")
+    return "\n".join(lines)
+
+
+def dump_file_map(fs, path: str, actor: Optional[Actor] = None) -> str:
+    """Where every block of a file lives (disk vs tertiary runs)."""
+    actor = actor or fs.actor
+    inum = fs.lookup(path, actor)
+    ino = fs.get_inode(inum, actor)
+    nblocks = (ino.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+    runs: List[Tuple[int, int, int, str]] = []  # lbn0, count, daddr0, kind
+    for lbn in range(nblocks):
+        daddr = fs.bmap(ino, lbn, actor)
+        if daddr == UNASSIGNED:
+            kind = "hole"
+        elif hasattr(fs, "aspace") and fs.aspace is not None \
+                and fs.aspace.is_tertiary_daddr(daddr):
+            kind = "tertiary"
+        else:
+            kind = "disk"
+        if (runs and runs[-1][3] == kind and kind != "hole"
+                and daddr == runs[-1][2] + runs[-1][1]):
+            lbn0, count, daddr0, _ = runs[-1]
+            runs[-1] = (lbn0, count + 1, daddr0, kind)
+        elif runs and runs[-1][3] == "hole" and kind == "hole":
+            lbn0, count, daddr0, _ = runs[-1]
+            runs[-1] = (lbn0, count + 1, daddr0, kind)
+        else:
+            runs.append((lbn, 1, daddr if kind != "hole" else 0, kind))
+    lines = [f"{path}: inode {inum}, {nblocks} blocks"]
+    for lbn0, count, daddr0, kind in runs:
+        where = f"@ {daddr0}" if kind != "hole" else ""
+        lines.append(f"  lbn {lbn0:>6}..{lbn0 + count - 1:<6} "
+                     f"{kind:<8} {where}")
+    return "\n".join(lines)
+
+
+def dump_checkpoints(device, actor: Optional[Actor] = None) -> str:
+    """Render both checkpoint slots from a device's superblock."""
+    sb = read_superblock(device, actor)
+    lines = [f"superblock: {sb.nsegs} segments of {sb.segment_size}B, "
+             f"{sb.ncachesegs} cache segments"]
+    for idx, ckpt in enumerate(sb.checkpoints):
+        marker = " <- latest" if ckpt is sb.latest_checkpoint() else ""
+        lines.append(f"  slot {idx}: serial {ckpt.serial}, ifile @ "
+                     f"{ckpt.ifile_daddr}, log @ {ckpt.log_daddr}, "
+                     f"t={ckpt.timestamp:.2f}{marker}")
+    return "\n".join(lines)

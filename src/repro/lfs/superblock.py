@@ -1,0 +1,118 @@
+"""The LFS superblock with dual checkpoint slots.
+
+During a checkpoint "the address of the most recent ifile inode is stored
+in the superblock so that the recovery agent may find it" (paper §3).  Two
+checkpoint slots alternate so a crash mid-checkpoint always leaves one
+valid; recovery picks the slot with the higher serial whose checksum
+verifies.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import CorruptFilesystem
+from repro.lfs.constants import (BLOCK_SIZE, RESERVED_BLOCKS, SEGMENT_SIZE,
+                                 SUPERBLOCK_MAGIC, UNASSIGNED)
+from repro.util.checksum import cksum32
+
+_FIXED = struct.Struct("<IIIIIIII")       # magic, bsize, ssize, nsegs, ncachesegs, flags, rsv, rsv
+_CKPT = struct.Struct("<QIIdI")           # serial, ifile_daddr, cur_segno, timestamp, cksum
+
+
+@dataclass
+class Checkpoint:
+    """One checkpoint slot."""
+
+    serial: int = 0
+    ifile_daddr: int = UNASSIGNED
+    #: Device address where the next partial segment would start —
+    #: roll-forward recovery begins scanning here.
+    log_daddr: int = 0
+    timestamp: float = 0.0
+
+    def pack(self) -> bytes:
+        body = struct.pack("<QIId", self.serial, self.ifile_daddr,
+                           self.log_daddr, self.timestamp)
+        return body + struct.pack("<I", cksum32(body))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Checkpoint":
+        body, (stored,) = data[:_CKPT.size - 4], struct.unpack(
+            "<I", data[_CKPT.size - 4:_CKPT.size])
+        if cksum32(body) != stored:
+            raise CorruptFilesystem("checkpoint checksum mismatch")
+        serial, ifile_daddr, log_daddr, timestamp = struct.unpack("<QIId", body)
+        return cls(serial, ifile_daddr, log_daddr, timestamp)
+
+
+@dataclass
+class Superblock:
+    """Filesystem-wide parameters plus the two checkpoint slots."""
+
+    block_size: int = BLOCK_SIZE
+    segment_size: int = SEGMENT_SIZE
+    nsegs: int = 0
+    #: Static cap on disk segments usable as tertiary cache lines
+    #: (HighLight; 0 for plain LFS).  Paper §6.4.
+    ncachesegs: int = 0
+    flags: int = 0
+    checkpoints: list = field(default_factory=lambda: [Checkpoint(), Checkpoint()])
+
+    #: Device block where the superblock lives (within the reserved area).
+    LOCATION = 0
+
+    def pack(self) -> bytes:
+        fixed = _FIXED.pack(SUPERBLOCK_MAGIC, self.block_size,
+                            self.segment_size, self.nsegs,
+                            self.ncachesegs, self.flags, 0, 0)
+        raw = fixed + self.checkpoints[0].pack() + self.checkpoints[1].pack()
+        return raw.ljust(BLOCK_SIZE, b"\0")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Superblock":
+        magic, bsize, ssize, nsegs, ncache, flags, _, _ = _FIXED.unpack(
+            data[:_FIXED.size])
+        if magic != SUPERBLOCK_MAGIC:
+            raise CorruptFilesystem(f"bad superblock magic {magic:#x}")
+        sb = cls(block_size=bsize, segment_size=ssize, nsegs=nsegs,
+                 ncachesegs=ncache, flags=flags)
+        offset = _FIXED.size
+        slots = []
+        for _i in range(2):
+            try:
+                slots.append(Checkpoint.unpack(data[offset:offset + _CKPT.size]))
+            except CorruptFilesystem:
+                slots.append(None)
+            offset += _CKPT.size
+        if slots[0] is None and slots[1] is None:
+            raise CorruptFilesystem("both checkpoint slots are corrupt")
+        sb.checkpoints = [slot if slot is not None else Checkpoint()
+                          for slot in slots]
+        return sb
+
+    # -- checkpoint slot management -----------------------------------------
+
+    def latest_checkpoint(self) -> Checkpoint:
+        """The valid checkpoint with the highest serial."""
+        a, b = self.checkpoints
+        return a if a.serial >= b.serial else b
+
+    def store_checkpoint(self, ckpt: Checkpoint) -> None:
+        """Write ``ckpt`` into the older slot (alternating-slot discipline)."""
+        a, b = self.checkpoints
+        if a.serial <= b.serial:
+            self.checkpoints[0] = ckpt
+        else:
+            self.checkpoints[1] = ckpt
+
+    # -- geometry -------------------------------------------------------------
+
+    @property
+    def blocks_per_seg(self) -> int:
+        return self.segment_size // self.block_size
+
+    def seg_base(self, segno: int) -> int:
+        """First device block of disk segment ``segno`` (boot-block shift)."""
+        return RESERVED_BLOCKS + segno * self.blocks_per_seg

@@ -1,0 +1,67 @@
+"""Measurement helpers: throughput meters and phase timers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sim.actor import Actor
+
+
+class RateMeter:
+    """Accumulates (bytes, seconds) and reports throughput.
+
+    Mirrors how the paper computes its throughput columns: total data
+    volume divided by elapsed virtual time.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.bytes = 0
+        self.seconds = 0.0
+
+    def add(self, nbytes: int, seconds: float) -> None:
+        """Record ``nbytes`` transferred over ``seconds``."""
+        if nbytes < 0 or seconds < 0:
+            raise ValueError("negative measurement")
+        self.bytes += nbytes
+        self.seconds += seconds
+
+    def rate(self) -> float:
+        """Bytes per second (0.0 if no time elapsed)."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.bytes / self.seconds
+
+
+class PhaseTimer:
+    """Records named phases of an actor's run as (start, end) windows.
+
+    Table 6 splits the migration run into an "arm contention" phase (while
+    the migrator is still staging) and a "no contention" phase (I/O server
+    draining alone); a PhaseTimer captures those boundaries.
+    """
+
+    def __init__(self, actor: Actor) -> None:
+        self._actor = actor
+        self._open: Dict[str, float] = {}
+        self.phases: List[Tuple[str, float, float]] = []
+
+    def begin(self, name: str) -> None:
+        """Open phase ``name`` at the actor's current time."""
+        if name in self._open:
+            raise ValueError(f"phase {name!r} already open")
+        self._open[name] = self._actor.time
+
+    def end(self, name: str) -> float:
+        """Close phase ``name``; returns its duration."""
+        start = self._open.pop(name, None)
+        if start is None:
+            raise ValueError(f"phase {name!r} was never begun")
+        end = self._actor.time
+        self.phases.append((name, start, end))
+        return end - start
+
+    def duration(self, name: str) -> float:
+        """Total duration across all closed phases called ``name``."""
+        return sum(end - start for phase, start, end in self.phases
+                   if phase == name)

@@ -1,0 +1,73 @@
+"""LRU recency tracking shared by the buffer cache and the segment cache."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterator, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class LRUTracker(Generic[K]):
+    """Tracks recency of a set of keys; O(1) touch and eviction-candidate pop.
+
+    This deliberately does not store values: HighLight's segment cache keeps
+    its data in disk segments and only needs an ordering over cache lines,
+    and the buffer cache keeps buffers in its own table.
+    """
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[K, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._order
+
+    def __iter__(self) -> Iterator[K]:
+        """Iterate keys from least- to most-recently used."""
+        return iter(self._order)
+
+    def touch(self, key: K) -> None:
+        """Mark ``key`` most-recently used, inserting it if absent."""
+        if key in self._order:
+            self._order.move_to_end(key)
+        else:
+            self._order[key] = None
+
+    def discard(self, key: K) -> None:
+        """Forget ``key`` if present."""
+        self._order.pop(key, None)
+
+    def lru(self) -> Optional[K]:
+        """Return the least-recently-used key without removing it."""
+        if not self._order:
+            return None
+        return next(iter(self._order))
+
+    def mru(self) -> Optional[K]:
+        """Return the most-recently-used key without removing it."""
+        if not self._order:
+            return None
+        return next(reversed(self._order))
+
+    def pop_lru(self) -> Optional[K]:
+        """Remove and return the least-recently-used key."""
+        if not self._order:
+            return None
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def demote(self, key: K) -> None:
+        """Mark ``key`` least-recently used (the 'least-worthy' hook).
+
+        The paper's Future Work sketches a nearly-MRU policy where freshly
+        fetched segments are ejected first until a repeat access promotes
+        them; ``demote`` is the primitive that enables it.
+        """
+        if key in self._order:
+            self._order.move_to_end(key, last=False)
+        else:
+            self._order[key] = None
+            self._order.move_to_end(key, last=False)

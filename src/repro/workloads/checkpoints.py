@@ -1,0 +1,59 @@
+"""Scientific checkpoint workloads (paper §5.2).
+
+"Scientific application checkpoints ... tend to be read completely and
+sequentially.  Such checkpoints typically dump the internal state of a
+computation to files, so that the state may be reconstituted and the
+computation resumed at a later time."  Whole-file migration suits them;
+this workload writes checkpoint generations and later restores one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.actor import Actor
+
+
+@dataclass
+class CheckpointWorkload:
+    """Periodic checkpoint dumps from a simulated computation."""
+
+    directory: str = "/checkpoints"
+    checkpoint_bytes: int = 8 * 1024 * 1024
+    interval: float = 1800.0           # simulated seconds between dumps
+    seed: int = 7
+    next_generation: int = 0           # advances across calls
+
+    def dump_generations(self, fs, actor: Actor, count: int) -> List[str]:
+        """Write ``count`` checkpoint generations; returns their paths."""
+        rng = random.Random(self.seed + self.next_generation)
+        try:
+            fs.mkdir(self.directory, actor)
+        except Exception:
+            pass  # already exists
+        paths = []
+        for _ in range(count):
+            gen = self.next_generation
+            self.next_generation += 1
+            actor.sleep(self.interval)
+            path = f"{self.directory}/ckpt{gen:04d}.state"
+            payload = rng.randbytes(self.checkpoint_bytes)
+            inum = fs.create(path, actor=actor)
+            chunk = 256 * 1024
+            for off in range(0, len(payload), chunk):
+                fs.write(inum, off, payload[off:off + chunk], actor)
+            fs.checkpoint(actor)
+            paths.append(path)
+        return paths
+
+    def restore(self, fs, actor: Actor, path: str) -> int:
+        """Read a checkpoint back completely and sequentially."""
+        inum = fs.lookup(path, actor)
+        size = fs.get_inode(inum, actor).size
+        chunk = 256 * 1024
+        total = 0
+        for off in range(0, size, chunk):
+            total += len(fs.read(inum, off, min(chunk, size - off), actor))
+        return total

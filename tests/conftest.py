@@ -1,0 +1,58 @@
+"""Shared fixtures: small, fast testbed instances."""
+
+import pytest
+
+from repro.blockdev import profiles
+from repro.blockdev.bus import SCSIBus
+from repro.core.highlight import HighLightConfig, HighLightFS
+from repro.core.migrator import Migrator
+from repro.footprint.robot import JukeboxFootprint
+from repro.lfs.filesystem import LFS, LFSConfig
+from repro.sim.actor import Actor
+from repro.util.units import MB
+
+
+@pytest.fixture
+def app():
+    return Actor("app")
+
+
+@pytest.fixture
+def small_disk():
+    return profiles.make_disk(profiles.RZ57, capacity_bytes=64 * MB)
+
+
+@pytest.fixture
+def lfs(small_disk, app):
+    return LFS.mkfs(small_disk, LFSConfig(), actor=app)
+
+
+class HLBed:
+    """A compact HighLight testbed for integration tests."""
+
+    def __init__(self, disk_bytes=96 * MB, n_platters=4,
+                 platter_bytes=40 * MB, config=None, **migrator_kwargs):
+        self.bus = SCSIBus()
+        self.disk = profiles.make_disk(profiles.RZ57, bus=self.bus,
+                                       capacity_bytes=disk_bytes)
+        self.jukebox = profiles.make_hp6300(
+            n_platters=n_platters, bus=self.bus,
+            effective_platter_bytes=platter_bytes)
+        self.footprint = JukeboxFootprint(self.jukebox)
+        self.app = Actor("app")
+        self.fs = HighLightFS.mkfs_highlight(
+            self.disk, self.footprint, config or HighLightConfig(),
+            actor=self.app)
+        self.migrator = Migrator(self.fs, **migrator_kwargs)
+
+    def remount(self):
+        """Crash: rebuild everything reachable from the media."""
+        fs = HighLightFS.mount_highlight(self.disk, self.footprint)
+        self.fs = fs
+        self.migrator = Migrator(fs, **{})
+        return fs
+
+
+@pytest.fixture
+def hl():
+    return HLBed()

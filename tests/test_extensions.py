@@ -1,0 +1,224 @@
+"""Tests for the Future-Work extensions: tertiary cleaner, delayed
+write-out, segment replicas, adaptive cache sizing."""
+
+import os
+
+import pytest
+
+from tests.conftest import HLBed
+from repro.core.cachesizer import AdaptiveCacheSizer
+from repro.core.replicas import ReplicaManager
+from repro.core.tcleaner import TertiaryCleaner
+from repro.core.writeout import DelayedWriteout
+from repro.util.units import KB, MB
+
+
+def _migrate_some(bed, paths_bytes, flush_cache=True):
+    data = {}
+    for path, size in paths_bytes.items():
+        data[path] = os.urandom(size)
+        bed.fs.write_path(path, data[path])
+    bed.fs.checkpoint()
+    bed.app.sleep(100)
+    for path in paths_bytes:
+        bed.migrator.migrate_file(path)
+    bed.migrator.flush()
+    bed.fs.checkpoint()
+    if flush_cache:
+        bed.fs.service.flush_cache(bed.app)
+        bed.fs.drop_caches(drop_inodes=True)
+    return data
+
+
+class TestTertiaryCleaner:
+    def _fragmented_bed(self):
+        """Fill volume 0, then kill most of its data by rewriting."""
+        bed = HLBed(platter_bytes=4 * MB)
+        data = _migrate_some(bed, {f"/v{i}": MB for i in range(4)},
+                             flush_cache=False)
+        # volume 0 (4MB effective) is now exhausted; updates kill its data
+        keep = "/v3"
+        for path in list(data):
+            if path == keep:
+                continue
+            inum = bed.fs.lookup(path)
+            fresh = os.urandom(len(data[path]))
+            bed.fs.write(inum, 0, fresh)
+            data[path] = fresh
+        bed.fs.sync()
+        bed.fs.service.flush_cache(bed.app)
+        bed.fs.drop_caches(drop_inodes=True)
+        return bed, data, keep
+
+    def test_select_victim_prefers_dead_volume(self):
+        bed, _data, _keep = self._fragmented_bed()
+        cleaner = TertiaryCleaner(bed.fs, bed.migrator)
+        victim = cleaner.select_victim()
+        assert victim == 0
+
+    def test_clean_volume_preserves_live_data(self):
+        bed, data, keep = self._fragmented_bed()
+        cleaner = TertiaryCleaner(bed.fs, bed.migrator)
+        cleaner.run_once()
+        bed.fs.checkpoint()
+        for path, payload in data.items():
+            assert bed.fs.read_path(path) == payload, path
+
+    def test_cleaned_volume_reusable(self):
+        bed, _data, _keep = self._fragmented_bed()
+        cleaner = TertiaryCleaner(bed.fs, bed.migrator)
+        assert cleaner.run_once() >= 0
+        meta = bed.fs.tsegfile.volumes[0]
+        assert meta.next_free == 0
+        assert not meta.marked_full
+        assert bed.fs.tsegfile.live_bytes(0) == 0
+
+    def test_live_volume_not_selected(self):
+        bed = HLBed(platter_bytes=4 * MB)
+        _migrate_some(bed, {"/keep": 3 * MB})
+        cleaner = TertiaryCleaner(bed.fs, bed.migrator,
+                                  live_fraction_threshold=0.5)
+        assert cleaner.select_victim() is None
+
+    def test_refuses_consuming_volume(self):
+        bed = HLBed()
+        _migrate_some(bed, {"/x": MB})
+        cleaner = TertiaryCleaner(bed.fs, bed.migrator)
+        with pytest.raises(Exception):
+            cleaner.clean_volume(bed.fs.tsegfile.cur_volume)
+
+
+class TestDelayedWriteout:
+    def test_segments_accumulate_until_drain(self):
+        bed = HLBed()
+        scheduler = DelayedWriteout(bed.fs, max_pending=8)
+        bed.migrator.writeout = scheduler.enqueue
+        payload = os.urandom(2 * MB)
+        bed.fs.write_path("/d", payload)
+        bed.fs.checkpoint()
+        bed.migrator.migrate_file("/d")
+        bed.migrator.flush()
+        assert scheduler.pending >= 2
+        assert bed.fs.ioserver.segments_written == 0
+        # idle period arrives
+        drained = scheduler.drain(bed.app)
+        assert drained == scheduler.idle_writeouts
+        assert bed.fs.ioserver.segments_written >= 2
+        assert bed.fs.read_path("/d") == payload
+
+    def test_overflow_forces_oldest_out(self):
+        bed = HLBed()
+        scheduler = DelayedWriteout(bed.fs, max_pending=1)
+        bed.migrator.writeout = scheduler.enqueue
+        bed.fs.write_path("/d", os.urandom(3 * MB))
+        bed.fs.checkpoint()
+        bed.migrator.migrate_file("/d")
+        bed.migrator.flush()
+        assert scheduler.forced_writeouts >= 1
+        assert scheduler.pending <= 1
+
+    def test_pending_lines_stay_staging(self):
+        bed = HLBed()
+        scheduler = DelayedWriteout(bed.fs, max_pending=8)
+        bed.migrator.writeout = scheduler.enqueue
+        bed.fs.write_path("/d", os.urandom(MB))
+        bed.fs.checkpoint()
+        bed.migrator.migrate_file("/d")
+        bed.migrator.flush()
+        for tsegno in scheduler.pending_segments():
+            assert bed.fs.cache.is_staging(tsegno)
+        scheduler.drain(bed.app)
+        for tsegno in scheduler.pending_segments():
+            assert False, "queue should be empty"
+
+    def test_validation(self):
+        bed = HLBed()
+        with pytest.raises(ValueError):
+            DelayedWriteout(bed.fs, max_pending=0)
+
+
+class TestReplicaManager:
+    def _replicated_bed(self):
+        bed = HLBed(n_platters=6, platter_bytes=8 * MB)
+        manager = ReplicaManager(bed.fs, copies=1)
+        manager.install(bed.migrator)
+        data = _migrate_some(bed, {"/r": MB}, flush_cache=False)
+        return bed, manager, data
+
+    def test_replicas_catalogued(self):
+        bed, manager, _ = self._replicated_bed()
+        assert manager.replicas_written >= 1
+        assert manager.catalog
+
+    def test_replicas_not_live(self):
+        bed, manager, _ = self._replicated_bed()
+        for locations in manager.catalog.values():
+            for vol, seg in locations:
+                assert bed.fs.tsegfile.seguse(vol, seg).live_bytes == 0
+
+    def test_fetch_uses_closest_copy(self):
+        bed, manager, data = self._replicated_bed()
+        bed.fs.service.flush_cache(bed.app)
+        bed.fs.drop_caches(drop_inodes=True)
+        # Load a replica's volume into a drive; the primary's volume may
+        # get evicted, making the replica "closest".
+        tsegno = next(iter(manager.catalog))
+        rvol, _rseg = manager.catalog[tsegno][0]
+        rvol_id = bed.fs.tsegfile.volumes[rvol].volume_id
+        pvol, _ = bed.fs.aspace.volume_of(tsegno)
+        pvol_id = bed.fs.tsegfile.volumes[pvol].volume_id
+        for drive in bed.jukebox.drives:
+            drive.pinned = False
+            if drive.loaded is not None:
+                drive.on_unload()
+        bed.jukebox.load(bed.app, rvol_id)
+        assert bed.fs.read_path("/r") == data["/r"]
+        assert manager.replica_reads >= 1
+
+    def test_replica_content_identical(self):
+        bed, manager, _ = self._replicated_bed()
+        for tsegno, locations in manager.catalog.items():
+            pvol, pseg = bed.fs.aspace.volume_of(tsegno)
+            bps = bed.fs.aspace.blocks_per_seg
+            primary = bed.footprint.read(
+                bed.app, bed.fs.tsegfile.volumes[pvol].volume_id,
+                pseg * bps, bps)
+            for rvol, rseg in locations:
+                replica = bed.footprint.read(
+                    bed.app, bed.fs.tsegfile.volumes[rvol].volume_id,
+                    rseg * bps, bps)
+                assert replica == primary
+
+    def test_validation(self):
+        bed = HLBed()
+        with pytest.raises(ValueError):
+            ReplicaManager(bed.fs, copies=0)
+
+
+class TestAdaptiveCacheSizer:
+    def test_grows_under_miss_pressure(self):
+        bed = HLBed()
+        sizer = AdaptiveCacheSizer(bed.fs, miss_rate_threshold=0.1,
+                                   headroom_target=2)
+        bed.fs.cache.max_lines = 4
+        bed.fs.cache.misses += 100  # synthetic miss storm
+        delta = sizer.observe_and_adjust()
+        assert delta > 0
+        assert bed.fs.cache.max_lines == 4 + delta
+
+    def test_shrinks_under_clean_famine(self):
+        bed = HLBed()
+        data = _migrate_some(bed, {"/s": 2 * MB}, flush_cache=False)
+        sizer = AdaptiveCacheSizer(
+            bed.fs, headroom_target=bed.fs.ifile.clean_count() + 10,
+            min_lines=1)
+        before = bed.fs.cache.max_lines
+        delta = sizer.observe_and_adjust()
+        assert delta < 0
+        assert bed.fs.cache.max_lines == before + delta
+        assert bed.fs.read_path("/s") == data["/s"]
+
+    def test_steady_state_no_change(self):
+        bed = HLBed()
+        sizer = AdaptiveCacheSizer(bed.fs, headroom_target=1)
+        assert sizer.observe_and_adjust() == 0

@@ -1,0 +1,95 @@
+"""Reproductions of the paper's overhead arithmetic (§6.4 and §8.2).
+
+These aren't numbered tables, but the paper does the math in prose; we
+redo it against our actual on-media structures and check the conclusions
+still hold.
+"""
+
+import pytest
+
+from repro.core.addressing import TOTAL_SEGS_32BIT
+from repro.lfs.constants import (BLOCK_SIZE, BLOCKS_PER_SEG, NDADDR,
+                                 PTRS_PER_BLOCK)
+from repro.lfs.ifile import IFile, IMAP_ENTRY_SIZE, SEGUSE_SIZE
+from repro.util.units import GB, KB, MB, TB
+
+
+class TestSection64IfileOverhead:
+    """§6.4: "Assuming 10GB of disk space, a 1MB ifile would support over
+    52,000 files; each additional megabyte would support an additional
+    87,296 files."  Our entries are wider (f64 timestamps, cache tags),
+    so the capacities are smaller — but the conclusion (ifile overhead is
+    negligible) must survive."""
+
+    def test_segment_table_size_for_10gb(self):
+        nsegs = 10 * GB // (BLOCKS_PER_SEG * BLOCK_SIZE)
+        seg_table_bytes = nsegs * SEGUSE_SIZE
+        # paper: 1 block per 102 segments; ours: 1 per 128 (32B entries).
+        assert BLOCK_SIZE // SEGUSE_SIZE == 128
+        assert seg_table_bytes < MB  # still well under a megabyte
+
+    def test_files_per_ifile_megabyte(self):
+        per_entry = IMAP_ENTRY_SIZE + 4  # entry + inum key on media
+        files_per_mb = MB // per_entry
+        # paper: 87,296 files per extra MB with its 12-byte entries;
+        # ours: 52,428 with 20-byte records — same order of magnitude.
+        assert files_per_mb > 50_000
+
+    def test_ifile_serialises_to_expected_size(self):
+        nsegs = 800  # ~ the 848MB test partition
+        ifile = IFile(nsegs)
+        for _ in range(1000):
+            ifile.alloc_inum()
+        raw = ifile.serialize()
+        # header block + ceil(800*32/4096)=7 + ceil(1000*20/4096)=5
+        assert len(raw) // BLOCK_SIZE <= 14
+        assert len(raw) < 64 * KB
+
+
+class TestSection82IndirectOverhead:
+    """§8.2, Ethan Miller's envelope: 200MB files at 4K blocks cost about
+    0.1% (200KB) in indirect pointer blocks, so a 10TB store wastes 10GB
+    on fallow metadata — the argument for migrating indirect blocks."""
+
+    @staticmethod
+    def _indirect_blocks(file_bytes: int) -> int:
+        nblocks = (file_bytes + BLOCK_SIZE - 1) // BLOCK_SIZE
+        if nblocks <= NDADDR:
+            return 0
+        count = 1  # single-indirect root
+        beyond = nblocks - NDADDR - PTRS_PER_BLOCK
+        if beyond > 0:
+            count += 1  # double root
+            count += (beyond + PTRS_PER_BLOCK - 1) // PTRS_PER_BLOCK
+        return count
+
+    def test_200mb_file_overhead_fraction(self):
+        file_bytes = 200 * MB
+        overhead = self._indirect_blocks(file_bytes) * BLOCK_SIZE
+        fraction = overhead / file_bytes
+        assert 0.0008 < fraction < 0.0012  # ~0.1%, per the envelope
+
+    def test_10tb_store_wastes_about_10gb(self):
+        file_bytes = 200 * MB
+        per_file = self._indirect_blocks(file_bytes) * BLOCK_SIZE
+        nfiles = 10 * TB // file_bytes
+        total_overhead = per_file * nfiles
+        assert 8 * GB < total_overhead < 12 * GB
+
+
+class TestSection63AddressSpaceLimit:
+    """§6.3: 32-bit pointers to 4KB blocks cap a filesystem at 16TB, and
+    one segment of address space is unusable."""
+
+    def test_total_addressable_bytes(self):
+        assert TOTAL_SEGS_32BIT * BLOCKS_PER_SEG * BLOCK_SIZE == 16 * TB
+
+    def test_one_segment_unusable(self):
+        from repro.core.addressing import AddressSpace
+        from repro.errors import AddressError
+        a = AddressSpace(10, [5])
+        top = a.total_segs - 1
+        assert not a.is_tertiary_segno(top)
+        assert not a.is_disk_segno(top)
+        with pytest.raises(AddressError):
+            a.volume_of(top)

