@@ -2,9 +2,22 @@
 
 import pytest
 
+from repro import obs
+from repro.bench import harness
+
 
 def print_report(report) -> None:
     """Render a TableReport; visible with ``pytest -s`` and in captured
     output on failure."""
     print()
     print(report)
+
+
+@pytest.fixture(autouse=True)
+def _observability_snapshot(request):
+    """Reset observability state before each benchmark and dump a
+    metrics + trace snapshot afterwards (to ``REPRO_OBS_DIR``, default
+    ``obs-snapshots/``)."""
+    obs.reset()
+    yield
+    harness.dump_observability(request.node.name)

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import sys
 
-from repro.bench import figures, tables
+from repro import obs
+from repro.bench import figures, harness, tables
 
 RUNNERS = {
     "table1": tables.run_table1,
@@ -35,7 +36,9 @@ def main(argv: list[str]) -> int:
         return 2
     failures = 0
     for name in names:
+        obs.reset()
         result = RUNNERS[name]()
+        snap_path = harness.dump_observability(name)
         if name.startswith("table"):
             _data, report = result
             print(report)
@@ -47,6 +50,7 @@ def main(argv: list[str]) -> int:
                 failures += 1
             else:
                 print("  all structural facts hold")
+        print(f"  observability snapshot: {snap_path}")
         print()
     return 1 if failures else 0
 

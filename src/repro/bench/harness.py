@@ -11,6 +11,7 @@ to 40MB."
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -106,6 +107,25 @@ def make_highlight(partition_bytes: int = PARTITION_BYTES,
     migrator = Migrator(fs)
     return Testbed(bus=bus, app=app, disks=disks, jukebox=jukebox,
                    footprint=footprint, fs=fs, migrator=migrator)
+
+
+OBS_DIR_ENV = "REPRO_OBS_DIR"
+DEFAULT_OBS_DIR = "obs-snapshots"
+
+
+def dump_observability(name: str, out_dir: Optional[str] = None) -> str:
+    """Write the current metrics + trace snapshot for benchmark ``name``.
+
+    The destination directory comes from ``out_dir``, else the
+    ``REPRO_OBS_DIR`` environment variable, else ``obs-snapshots/`` under
+    the working directory.  Returns the path written.
+    """
+    from repro.obs.report import write_snapshot
+    out_dir = out_dir or os.environ.get(OBS_DIR_ENV) or DEFAULT_OBS_DIR
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+    path = os.path.join(out_dir, f"{safe}.json")
+    write_snapshot(path)
+    return path
 
 
 def preload_write_volume(bed: Testbed) -> None:

@@ -12,6 +12,8 @@ from repro.bench import harness
 from repro.bench.report import TableReport, throughput_kbs
 from repro.blockdev import profiles
 from repro.blockdev.bus import SCSIBus
+from repro.core.ioserver import (CAT_FOOTPRINT_WRITE, CAT_IOSERVER_READ,
+                                 CAT_QUEUING)
 from repro.core.migrator import MigrationPipeline
 from repro.footprint.robot import JukeboxFootprint
 from repro.lfs.summary import (FINFO_FIXED, HEADER_SIZE, PER_BLOCK,
@@ -302,12 +304,10 @@ def run_migration_pipeline(staging: Optional[str] = None,
                            if end <= boundary)
     total = sum(n for _t, _end, n in bed.fs.ioserver.writeout_log)
     account = bed.fs.ioserver.account
-    nsegs = bed.fs.ioserver.segments_written
     breakdown = {
-        "footprint_write": account.get("footprint_write"),
-        "ioserver_read": account.get("ioserver_read"),
-        "queuing": bed.fs.service.request_overhead * nsegs
-        + pipeline.queue.wait_seconds * 0.0,
+        "footprint_write": account.get(CAT_FOOTPRINT_WRITE),
+        "ioserver_read": account.get(CAT_IOSERVER_READ),
+        "queuing": account.get(CAT_QUEUING),
     }
     return MigrationRunResult(
         total_bytes=total, start_time=start,

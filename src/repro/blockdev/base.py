@@ -5,6 +5,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, Optional
 
+from repro import obs
 from repro.errors import AddressError, InvalidArgument
 from repro.sim.actor import Actor
 
@@ -69,15 +70,46 @@ class BlockStore:
 
 
 class DeviceStats:
-    """I/O accounting a device keeps about itself."""
+    """I/O accounting a device keeps about itself.
 
-    def __init__(self) -> None:
+    Per-op totals live on the instance (cheap, always available); when
+    the stats object carries a device name, every :meth:`record` also
+    publishes to the process-wide registry — per-device byte/op counters
+    and a latency histogram — so one snapshot covers the whole farm.
+    """
+
+    def __init__(self, device: str = "") -> None:
+        self.device = device
         self.read_ops = 0
         self.write_ops = 0
         self.bytes_read = 0
         self.bytes_written = 0
         self.seek_seconds = 0.0
         self.transfer_seconds = 0.0
+
+    def record(self, op: str, nbytes: int, seek_seconds: float = 0.0,
+               transfer_seconds: float = 0.0) -> None:
+        """Account one completed I/O (``op`` is ``"read"`` or ``"write"``)."""
+        if op == "read":
+            self.read_ops += 1
+            self.bytes_read += nbytes
+        else:
+            self.write_ops += 1
+            self.bytes_written += nbytes
+        self.seek_seconds += seek_seconds
+        self.transfer_seconds += transfer_seconds
+        if self.device:
+            labels = {"device": self.device, "op": op}
+            obs.counter("device_io_ops_total",
+                        "I/O operations completed per device",
+                        ("device", "op")).labels(**labels).inc()
+            obs.counter("device_io_bytes_total",
+                        "bytes transferred per device",
+                        ("device", "op")).labels(**labels).inc(nbytes)
+            obs.histogram("device_io_seconds",
+                          "virtual seconds per I/O (positioning + transfer)",
+                          ("device", "op")).labels(**labels).observe(
+                              seek_seconds + transfer_seconds)
 
     def snapshot(self) -> Dict[str, float]:
         """A plain-dict copy, for reports."""
@@ -91,7 +123,7 @@ class DeviceStats:
         }
 
     def reset(self) -> None:
-        self.__init__()
+        self.__init__(self.device)
 
 
 class BlockDevice(ABC):
@@ -100,7 +132,7 @@ class BlockDevice(ABC):
     def __init__(self, name: str, capacity_blocks: int, block_size: int) -> None:
         self.name = name
         self.store = BlockStore(capacity_blocks, block_size)
-        self.stats = DeviceStats()
+        self.stats = DeviceStats(device=name)
 
     @property
     def block_size(self) -> int:

@@ -55,7 +55,7 @@ class DiskDevice(BlockDevice):
         return seek + self.profile.avg_rotational_latency
 
     def _do_io(self, actor: Actor, blkno: int, nbytes: int,
-               is_write: bool) -> None:
+               is_write: bool) -> tuple:
         pos = self._positioning(actor, blkno)
         xfer = self.profile.transfer(nbytes, is_write)
         overhead = self.profile.per_op_overhead
@@ -67,25 +67,23 @@ class DiskDevice(BlockDevice):
             occupy_all(actor, [self.arm, self.bus], max(xfer, wire))
         else:
             self.arm.occupy(actor, xfer)
-        self.stats.seek_seconds += pos
-        self.stats.transfer_seconds += xfer
         self._last_end_blk = blkno + nbytes // self.block_size
         self._last_end_time = actor.time
+        return pos, xfer
 
     # -- BlockDevice API ----------------------------------------------------
 
     def read(self, actor: Actor, blkno: int, nblocks: int) -> bytes:
         self.store.check_range(blkno, nblocks)
         data = self.store.read(blkno, nblocks)
-        self._do_io(actor, blkno, nblocks * self.block_size, is_write=False)
-        self.stats.read_ops += 1
-        self.stats.bytes_read += len(data)
+        pos, xfer = self._do_io(actor, blkno, nblocks * self.block_size,
+                                is_write=False)
+        self.stats.record("read", len(data), pos, xfer)
         return data
 
     def write(self, actor: Actor, blkno: int, data: bytes) -> None:
         nblocks = len(data) // self.block_size
         self.store.check_range(blkno, nblocks)
         self.store.write(blkno, data)
-        self._do_io(actor, blkno, len(data), is_write=True)
-        self.stats.write_ops += 1
-        self.stats.bytes_written += len(data)
+        pos, xfer = self._do_io(actor, blkno, len(data), is_write=True)
+        self.stats.record("write", len(data), pos, xfer)

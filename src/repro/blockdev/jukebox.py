@@ -14,6 +14,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.blockdev.base import BlockStore, DeviceStats
 from repro.blockdev.bus import SCSIBus
 from repro.errors import (DriveBusy, NoSuchVolume, ReadOnlyMedium,
@@ -49,6 +50,21 @@ class RemovableVolume:
         #: Fault injection: a failed volume raises MediaFailure on I/O.
         self.failed = False
 
+    def inject_failure(self, t: float = 0.0, reason: str = "media_failure"
+                       ) -> None:
+        """Fail this volume (fault-injection harness entry point).
+
+        Subsequent I/O through a drive holding it raises
+        :class:`~repro.errors.MediaFailure`.  ``t`` is the virtual time
+        of the injection, stamped onto the emitted trace event.
+        """
+        self.failed = True
+        obs.counter("faults_injected_total",
+                    "faults injected by the test/fault harness",
+                    ("kind",)).labels(kind=reason).inc()
+        obs.event(obs.EV_FAULT_INJECTED, t, kind=reason,
+                  volume=self.volume_id)
+
     @property
     def block_size(self) -> int:
         return self.store.block_size
@@ -69,7 +85,7 @@ class Drive(ABC):
         self.name = name
         self.bus = bus
         self.loaded: Optional[RemovableVolume] = None
-        self.stats = DeviceStats()
+        self.stats = DeviceStats(device=name)
         #: A pinned drive is never chosen for eviction by the robot
         #: (the paper dedicates one MO drive to the active writing platter).
         self.pinned = False
@@ -185,11 +201,16 @@ class Jukebox:
             self.robot.next_free = max(self.robot.next_free, actor.time)
         else:
             self.robot.occupy(actor, self.swap_time)
+        unloaded = drive.loaded.volume_id if drive.loaded is not None else None
         if drive.loaded is not None:
             drive.on_unload()
         drive.on_load(self.volumes[volume_id])
         self.swap_count += 1
         self._drive_lru.touch(idx)
+        obs.counter("robot_swaps_total", "media swaps by the robot picker",
+                    ("jukebox",)).labels(jukebox=self.name).inc()
+        obs.event(obs.EV_VOLUME_SWITCH, actor.time, jukebox=self.name,
+                  drive=drive.name, volume=volume_id, unloaded=unloaded)
         return idx
 
     # -- volume-addressed I/O ------------------------------------------------

@@ -55,7 +55,7 @@ class MODrive(Drive):
         return seek + self.profile.avg_rotational_latency
 
     def _do_io(self, actor: Actor, blkno: int, nbytes: int,
-               is_write: bool) -> None:
+               is_write: bool) -> tuple:
         pos = self._positioning(actor, blkno)
         xfer = self.profile.transfer(nbytes, is_write)
         self.head.occupy(actor, self.profile.per_op_overhead + pos)
@@ -64,18 +64,17 @@ class MODrive(Drive):
             occupy_all(actor, [self.head, self.bus], max(xfer, wire))
         else:
             self.head.occupy(actor, xfer)
-        self.stats.seek_seconds += pos
-        self.stats.transfer_seconds += xfer
         nblocks = nbytes // self.profile.block_size
         self._last_end_blk = blkno + nblocks
         self._last_end_time = actor.time
+        return pos, xfer
 
     def read(self, actor: Actor, blkno: int, nblocks: int) -> bytes:
         volume = self.require_loaded()
         data = volume.store.read(blkno, nblocks)
-        self._do_io(actor, blkno, nblocks * volume.block_size, is_write=False)
-        self.stats.read_ops += 1
-        self.stats.bytes_read += len(data)
+        pos, xfer = self._do_io(actor, blkno, nblocks * volume.block_size,
+                                is_write=False)
+        self.stats.record("read", len(data), pos, xfer)
         return data
 
     def write(self, actor: Actor, blkno: int, data: bytes) -> None:
@@ -88,6 +87,5 @@ class MODrive(Drive):
                 f"{volume.effective_capacity_blocks}")
         self._check_write(volume, blkno, nblocks)
         volume.store.write(blkno, data)
-        self._do_io(actor, blkno, len(data), is_write=True)
-        self.stats.write_ops += 1
-        self.stats.bytes_written += len(data)
+        pos, xfer = self._do_io(actor, blkno, len(data), is_write=True)
+        self.stats.record("write", len(data), pos, xfer)

@@ -65,8 +65,7 @@ class ConcatDevice(BlockDevice):
         parts = [dev.read(actor, local, run)
                  for dev, local, run in self._split(blkno, nblocks)]
         data = b"".join(parts)
-        self.stats.read_ops += 1
-        self.stats.bytes_read += len(data)
+        self.stats.record("read", len(data))
         return data
 
     def write(self, actor: Actor, blkno: int, data: bytes) -> None:
@@ -77,5 +76,4 @@ class ConcatDevice(BlockDevice):
             chunk = data[offset:offset + run * self.block_size]
             dev.write(actor, local, chunk)
             offset += len(chunk)
-        self.stats.write_ops += 1
-        self.stats.bytes_written += len(data)
+        self.stats.record("write", len(data))

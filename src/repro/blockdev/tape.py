@@ -58,10 +58,9 @@ class TapeDrive(Drive):
         seconds = distance_bytes / self.wind_rate
         if seconds:
             self.transport.occupy(actor, seconds)
-            self.stats.seek_seconds += seconds
         return seconds
 
-    def _stream(self, actor: Actor, nbytes: int, is_write: bool) -> None:
+    def _stream(self, actor: Actor, nbytes: int, is_write: bool) -> float:
         rate = self.write_rate if is_write else self.read_rate
         xfer = nbytes / rate
         if self.bus is not None:
@@ -69,17 +68,17 @@ class TapeDrive(Drive):
             occupy_all(actor, [self.transport, self.bus], max(xfer, wire))
         else:
             self.transport.occupy(actor, xfer)
-        self.stats.transfer_seconds += xfer
+        return xfer
 
     def read(self, actor: Actor, blkno: int, nblocks: int) -> bytes:
         volume = self.require_loaded()
         data = volume.store.read(blkno, nblocks)
         self.transport.occupy(actor, self.per_op_overhead)
-        self._wind_to(actor, blkno)
-        self._stream(actor, nblocks * volume.block_size, is_write=False)
+        wind = self._wind_to(actor, blkno)
+        xfer = self._stream(actor, nblocks * volume.block_size,
+                            is_write=False)
         self.position_blk = blkno + nblocks
-        self.stats.read_ops += 1
-        self.stats.bytes_read += len(data)
+        self.stats.record("read", len(data), wind, xfer)
         return data
 
     def write(self, actor: Actor, blkno: int, data: bytes) -> None:
@@ -93,8 +92,7 @@ class TapeDrive(Drive):
         self._check_write(volume, blkno, nblocks)
         volume.store.write(blkno, data)
         self.transport.occupy(actor, self.per_op_overhead)
-        self._wind_to(actor, blkno)
-        self._stream(actor, len(data), is_write=True)
+        wind = self._wind_to(actor, blkno)
+        xfer = self._stream(actor, len(data), is_write=True)
         self.position_blk = blkno + nblocks
-        self.stats.write_ops += 1
-        self.stats.bytes_written += len(data)
+        self.stats.record("write", len(data), wind, xfer)

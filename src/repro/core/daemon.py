@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.lfs.cleaner import Cleaner, CostBenefitPolicy
 from repro.sim.actor import Actor
 
@@ -70,6 +71,9 @@ class AutoMigrationDaemon:
         """One daemon iteration; returns a summary of what it did."""
         actor = actor or self.migrator.actor
         self.ticks += 1
+        obs.counter("daemon_ticks_total",
+                    "automigration daemon iterations").inc()
+        runs_before = self.migration_runs
         summary = {"migrated_files": 0, "cleaned_segments": 0,
                    "utilization_before": self.disk_utilization()}
         if self.above_high_water():
@@ -88,6 +92,12 @@ class AutoMigrationDaemon:
             if self.cleaner.needs_cleaning():
                 summary["cleaned_segments"] += self.cleaner.clean_pass()
         summary["utilization_after"] = self.disk_utilization()
+        obs.gauge("daemon_disk_utilization",
+                  "fraction of non-cache disk segments not clean").set(
+                      summary["utilization_after"])
+        obs.counter("daemon_migration_runs_total",
+                    "policy runs triggered by the high-water mark").inc(
+                        self.migration_runs - runs_before)
         return summary
 
     def run_until_calm(self, actor: Optional[Actor] = None,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro import obs
 from repro.blockdev.base import BlockDevice, CPUModel
 from repro.blockdev.striped import ConcatDevice
 from repro.core.addressing import AddressSpace, BlockMapDriver
@@ -216,13 +217,20 @@ class HighLightFS(LFS):
         if self.driver is None:
             return super().dev_read(actor, daddr, nblocks)
         self.stats.blocks_read += nblocks
+        obs.counter("highlight_dev_blocks_total",
+                    "blocks routed through the block-map driver",
+                    ("op",)).labels(op="read").inc(nblocks)
         return self.driver.read(actor, daddr, nblocks)
 
     def dev_write(self, actor: Actor, daddr: int, data: bytes) -> None:
         if self.driver is None:
             super().dev_write(actor, daddr, data)
             return
-        self.stats.blocks_written += len(data) // BLOCK_SIZE
+        nblocks = len(data) // BLOCK_SIZE
+        self.stats.blocks_written += nblocks
+        obs.counter("highlight_dev_blocks_total",
+                    "blocks routed through the block-map driver",
+                    ("op",)).labels(op="write").inc(nblocks)
         self.driver.write(actor, daddr, data)
 
     # ------------------------------------------------------------------
@@ -240,6 +248,9 @@ class HighLightFS(LFS):
             freed = self.cache.surrender_line()
             if freed is None:
                 raise
+            obs.counter("highlight_cache_lines_surrendered_total",
+                        "cache lines reclaimed during clean-segment famine"
+                        ).inc()
             return freed
 
     def checkpoint(self, actor: Optional[Actor] = None) -> None:

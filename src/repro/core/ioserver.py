@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.blockdev.base import BlockDevice
 from repro.errors import EndOfMedium
 from repro.footprint.interface import FootprintInterface
@@ -31,6 +32,14 @@ CAT_IOSERVER_READ = "ioserver_read"
 CAT_FOOTPRINT_READ = "footprint_read"
 CAT_DISK_WRITE = "disk_write"
 CAT_QUEUING = "queuing"
+
+#: Every category the I/O server / service process may charge.  The
+#: categories partition elapsed time: each virtual second spent inside a
+#: fetch, write-out, or request hand-off lands in exactly one bucket, so
+#: their sum equals the wall time of the operations (tested by
+#: ``tests/test_obs.py``) and Table 4's percentages cannot silently drift.
+TABLE4_CATEGORIES = (CAT_FOOTPRINT_WRITE, CAT_IOSERVER_READ,
+                     CAT_FOOTPRINT_READ, CAT_DISK_WRITE, CAT_QUEUING)
 
 
 class IOServer:
@@ -70,6 +79,7 @@ class IOServer:
         """
         _vol, vol_id, blkno = self._volume_blkno(tsegno)
         bps = self.aspace.blocks_per_seg
+        start = actor.time
         t0 = actor.time
         image = self.footprint.read(actor, vol_id, blkno, bps)
         self.account.charge(CAT_FOOTPRINT_READ, actor.time - t0)
@@ -77,6 +87,16 @@ class IOServer:
         self.disk.write(actor, self.aspace.seg_base(disk_segno), image)
         self.account.charge(CAT_DISK_WRITE, actor.time - t0)
         self.segments_fetched += 1
+        obs.counter("ioserver_segments_fetched_total",
+                    "tertiary segments demand-fetched into cache lines").inc()
+        obs.counter("ioserver_fetch_bytes_total",
+                    "bytes copied tertiary -> disk cache").inc(len(image))
+        obs.histogram("ioserver_fetch_seconds",
+                      "virtual seconds per whole-segment fetch").observe(
+                          actor.time - start)
+        obs.event(obs.EV_SEGMENT_FETCH, actor.time, tsegno=tsegno,
+                  disk_segno=disk_segno, volume=vol_id, bytes=len(image),
+                  seconds=actor.time - start, actor=actor.name)
 
     # -- write-out ---------------------------------------------------------------
 
@@ -98,6 +118,7 @@ class IOServer:
         """
         bps = self.aspace.blocks_per_seg
         line_base = self.aspace.seg_base(disk_segno)
+        start = actor.time
         chunks = []
         offset = 0
         while offset < bps:
@@ -122,6 +143,16 @@ class IOServer:
             self.account.charge(CAT_FOOTPRINT_WRITE, actor.time - t0)
         self.segments_written += 1
         self.writeout_log.append((tsegno, actor.time, len(image)))
+        obs.counter("ioserver_segments_written_total",
+                    "staged segments copied out to tertiary storage").inc()
+        obs.counter("ioserver_writeout_bytes_total",
+                    "bytes copied disk staging -> tertiary").inc(len(image))
+        obs.histogram("ioserver_writeout_seconds",
+                      "virtual seconds per whole-segment write-out").observe(
+                          actor.time - start)
+        obs.event(obs.EV_SEGMENT_WRITEOUT, actor.time, tsegno=tsegno,
+                  disk_segno=disk_segno, volume=vol_id, bytes=len(image),
+                  seconds=actor.time - start, actor=actor.name)
 
     def read_segment_image(self, actor: Actor, tsegno: int) -> bytes:
         """Read a whole tertiary segment (tertiary cleaner's bulk path)."""

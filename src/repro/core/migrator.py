@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import InvalidArgument, MigrationError
 from repro.lfs.constants import (BLOCK_SIZE, DOUBLE_ROOT_LBN, NDADDR,
                                  PTRS_PER_BLOCK, SINGLE_ROOT_LBN, UNASSIGNED,
@@ -34,7 +35,13 @@ from repro.sim.scheduler import Scheduler, TimedQueue, WAIT
 
 
 class MigrationStats:
-    """What one migration run accomplished."""
+    """What one migration run accomplished.
+
+    A thin facade over the process-wide metrics registry: the per-run
+    attributes answer "what did *this* migrator do", while every
+    increment also lands in ``migrator_*_total`` counters so snapshots
+    and dashboards see the aggregate without holding the object.
+    """
 
     def __init__(self) -> None:
         self.files_migrated = 0
@@ -42,6 +49,29 @@ class MigrationStats:
         self.inodes_migrated = 0
         self.segments_staged = 0
         self.bytes_staged = 0
+
+    def add_file(self) -> None:
+        self.files_migrated += 1
+        obs.counter("migrator_files_migrated_total",
+                    "files fully processed by the migrator").inc()
+
+    def add_blocks(self, n: int = 1) -> None:
+        self.blocks_migrated += n
+        obs.counter("migrator_blocks_migrated_total",
+                    "blocks staged for tertiary storage").inc(n)
+
+    def add_inode(self) -> None:
+        self.inodes_migrated += 1
+        obs.counter("migrator_inodes_migrated_total",
+                    "inodes staged for tertiary storage").inc()
+
+    def add_segment(self, nbytes: int) -> None:
+        self.segments_staged += 1
+        self.bytes_staged += nbytes
+        obs.counter("migrator_segments_staged_total",
+                    "staging segments sealed").inc()
+        obs.counter("migrator_bytes_staged_total",
+                    "bytes sealed into staging segments").inc(nbytes)
 
 
 class Migrator:
@@ -99,8 +129,7 @@ class Migrator:
         builder.finalize(actor)
         tseg = self.fs.tseg_use(builder.tsegno)
         tseg.lastmod = actor.time
-        self.stats.segments_staged += 1
-        self.stats.bytes_staged += builder.used_bytes()
+        self.stats.add_segment(builder.used_bytes())
         self.writeout(actor, builder.tsegno)
         return builder.tsegno
 
@@ -216,7 +245,7 @@ class Migrator:
                                               lastlength)
                 fs.set_bmap(ino, lbn, new_daddr, actor)
                 fs.account_block_moved(old_daddr, new_daddr)
-                self.stats.blocks_migrated += 1
+                self.stats.add_blocks()
             if self.builder is not None and self.builder.spill(actor):
                 yield
 
@@ -230,14 +259,14 @@ class Migrator:
                 fs.set_bmap(ino, ind_lbn, new_daddr, actor)
                 fs.account_block_moved(old_daddr, new_daddr)
                 fs.bcache.mark_clean((inum, ind_lbn))
-                self.stats.blocks_migrated += 1
+                self.stats.add_blocks()
         if whole_file and self.migrate_inodes:
             fs._dirty_inodes.discard(inum)
             entry = fs.ifile.imap_entry(inum)
             new_daddr = self._stage_inode(actor, ino)
             fs.account_block_moved(entry.daddr, new_daddr, nbytes=128)
             entry.daddr = new_daddr
-            self.stats.inodes_migrated += 1
+            self.stats.add_inode()
         elif whole_file:
             # The inode stays on disk but now points at tertiary
             # addresses; rewrite it through the normal log path.
@@ -248,7 +277,7 @@ class Migrator:
         if self.builder is not None and self.builder.pending_spill_blocks():
             self.builder.spill(actor, all_pending=True)
             yield
-        self.stats.files_migrated += 1
+        self.stats.add_file()
         self._unit_tag = None
 
     def _lastlength(self, ino: Inode, lbn: int) -> int:
@@ -266,6 +295,11 @@ class Migrator:
             raise InvalidArgument("migrator has no policy attached")
         units = self.policy.select(self.fs, actor)
         for unit in units:
+            obs.counter("migrator_policy_picks_total",
+                        "units selected by the migration policy").inc()
+            obs.event(obs.EV_MIGRATE_PICK, actor.time,
+                      policy=type(self.policy).__name__, tag=str(unit.tag),
+                      files=len(unit.inums))
             for inum in unit.inums:
                 self.migrate_file(inum, actor,
                                   lbn_range=unit.lbn_ranges.get(inum),
@@ -345,8 +379,7 @@ class Migrator:
         builder.finalize(actor)
         tseg = self.fs.tseg_use(builder.tsegno)
         tseg.lastmod = actor.time
-        self.stats.segments_staged += 1
-        self.stats.bytes_staged += builder.used_bytes()
+        self.stats.add_segment(builder.used_bytes())
 
 
 class MigrationPipeline:

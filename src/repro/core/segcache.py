@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.errors import StagingFull
 from repro.lfs.constants import UNASSIGNED
 from repro.lfs.ifile import SEG_CACHED, SEG_CLEAN, SEG_DIRTY, SEG_STAGING
@@ -43,8 +44,12 @@ class SegmentCache:
         disk_segno = self._dir.get(tsegno)
         if disk_segno is None:
             self.misses += 1
+            obs.counter("segcache_misses_total",
+                        "segment cache directory misses").inc()
         else:
             self.hits += 1
+            obs.counter("segcache_hits_total",
+                        "segment cache directory hits").inc()
         return disk_segno
 
     def contains(self, tsegno: int) -> bool:
@@ -91,11 +96,13 @@ class SegmentCache:
             return False
         return bool(self.fs.ifile.seguse(disk_segno).flags & SEG_STAGING)
 
-    def eject(self, tsegno: int) -> Optional[int]:
+    def eject(self, tsegno: int, actor: Optional[Actor] = None
+              ) -> Optional[int]:
         """Drop a read-only line; returns the freed disk segment.
 
         Ejecting a staging line is refused (its data has no tertiary copy
-        yet) — callers must copy it out first.
+        yet) — callers must copy it out first.  ``actor`` (when known)
+        supplies the virtual-clock stamp for the trace event.
         """
         if self.is_staging(tsegno):
             return None
@@ -108,6 +115,11 @@ class SegmentCache:
         seg.live_bytes = 0
         self.policy.on_evict(tsegno)
         self.ejections += 1
+        when = (actor or self.fs.actor).time
+        obs.counter("segcache_ejections_total",
+                    "read-only cache lines dropped").inc()
+        obs.event(obs.EV_CACHE_EJECT, when, tsegno=tsegno,
+                  disk_segno=disk_segno)
         return disk_segno
 
     # -- line acquisition -----------------------------------------------------------
@@ -128,7 +140,7 @@ class SegmentCache:
             [t for t in self._dir if not self.is_staging(t)])
         if victim is None:
             raise StagingFull("no ejectable cache line and no clean segment")
-        freed = self.eject(victim)
+        freed = self.eject(victim, actor=actor)
         assert freed is not None
         return freed
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from repro import obs
+from repro.core.ioserver import CAT_QUEUING
 from repro.errors import EndOfMedium, MigrationError
 from repro.sim.actor import Actor
 
@@ -52,10 +54,13 @@ class ServiceProcess:
         if existing is not None:
             return existing
         actor.sleep(self.request_overhead)
+        self.ioserver.account.charge(CAT_QUEUING, self.request_overhead)
         disk_segno = self.cache.acquire_line(actor)
         self.ioserver.fetch(actor, tsegno, disk_segno)
         self.cache.register(tsegno, disk_segno, actor)
         self.fs.stats.demand_fetches += 1
+        obs.counter("service_demand_fetches_total",
+                    "synchronous fetches triggered by block faults").inc()
         return disk_segno
 
     def after_miss(self, actor: Actor, tsegno: int) -> None:
@@ -94,6 +99,7 @@ class ServiceProcess:
         if disk_segno is None:
             raise MigrationError(f"tertiary segment {tsegno} has no line")
         actor.sleep(self.request_overhead)
+        self.ioserver.account.charge(CAT_QUEUING, self.request_overhead)
         try:
             yield from self.ioserver.writeout_steps(actor, disk_segno, tsegno)
         except EndOfMedium:
@@ -128,7 +134,7 @@ class ServiceProcess:
                     f"segment {tsegno} is staging and copy-out was refused")
             self.writeout_line(actor, tsegno)
         actor.sleep(self.request_overhead)
-        self.cache.eject(tsegno)
+        self.cache.eject(tsegno, actor=actor)
 
     def flush_cache(self, actor: Actor) -> int:
         """Eject every line (copying out any staging lines); returns count."""

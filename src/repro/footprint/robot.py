@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import obs
 from repro.blockdev.jukebox import Jukebox
 from repro.errors import NoSuchVolume
 from repro.footprint.interface import FootprintInterface, VolumeInfo
@@ -54,6 +55,8 @@ class JukeboxFootprint(FootprintInterface):
             self.jukebox.drives[self._write_drive].pinned = False
         self._write_volume = volume_id
         self._write_drive = None  # lazily bound on the first write
+        obs.counter("footprint_write_drive_pins_total",
+                    "write-drive reassignments to a new volume").inc()
 
     def _drive_for(self, actor: Actor, volume_id: int,
                    is_write: bool) -> int:
@@ -68,13 +71,31 @@ class JukeboxFootprint(FootprintInterface):
 
     def read(self, actor: Actor, volume_id: int, blkno: int,
              nblocks: int) -> bytes:
+        t0 = actor.time
         idx = self._drive_for(actor, volume_id, is_write=False)
-        return self.jukebox.drives[idx].read(actor, blkno, nblocks)
+        data = self.jukebox.drives[idx].read(actor, blkno, nblocks)
+        self._account("read", len(data), actor.time - t0)
+        return data
 
     def write(self, actor: Actor, volume_id: int, blkno: int,
               data: bytes) -> None:
+        t0 = actor.time
         idx = self._drive_for(actor, volume_id, is_write=True)
         self.jukebox.drives[idx].write(actor, blkno, data)
+        self._account("write", len(data), actor.time - t0)
+
+    @staticmethod
+    def _account(op: str, nbytes: int, seconds: float) -> None:
+        obs.counter("footprint_ops_total", "Footprint API calls served",
+                    ("op",)).labels(op=op).inc()
+        obs.counter("footprint_bytes_total",
+                    "bytes moved through the Footprint API",
+                    ("op",)).labels(op=op).inc(nbytes)
+        obs.histogram("footprint_op_seconds",
+                      "virtual seconds per Footprint op (incl. media loads)",
+                      ("op",)).labels(op=op).observe(seconds)
 
     def mark_full(self, volume_id: int) -> None:
         self.jukebox.volume(volume_id).marked_full = True
+        obs.counter("footprint_volumes_marked_full_total",
+                    "volumes that hit end-of-medium").inc()

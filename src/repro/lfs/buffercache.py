@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import InvalidArgument
 from repro.lfs.constants import BLOCK_SIZE
 from repro.util.lru import LRUTracker
@@ -55,8 +56,12 @@ class BufferCache:
         buf = self._bufs.get(key)
         if buf is None:
             self.misses += 1
+            obs.counter("buffercache_misses_total",
+                        "block buffer cache misses").inc()
             return None
         self.hits += 1
+        obs.counter("buffercache_hits_total",
+                    "block buffer cache hits").inc()
         self._lru.touch(key)
         return buf.data
 
@@ -97,6 +102,8 @@ class BufferCache:
                 return  # everything dirty: caller must flush soon
             self._lru.discard(victim)
             del self._bufs[victim]
+            obs.counter("buffercache_evictions_total",
+                        "clean blocks evicted to make room").inc()
 
     # -- bulk operations -------------------------------------------------------
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.lfs.constants import BLOCK_SIZE, UNASSIGNED
 from repro.lfs.ifile import SEG_ACTIVE, SEG_CACHED, SEG_CLEAN, SEG_DIRTY, SEG_GONE
 from repro.lfs.inode import unpack_inode_block
@@ -122,11 +123,17 @@ class Cleaner:
 
     def clean_pass(self) -> int:
         """One cleaning pass; returns segments reclaimed."""
+        blocks_before = self.blocks_forwarded
         victims = self.policy.select(self.fs, self.max_per_pass)
         cleaned = 0
         for segno in victims:
             if self.clean_segment(segno):
                 cleaned += 1
+        obs.counter("cleaner_passes_total", "disk cleaner passes run").inc()
+        obs.event(obs.EV_CLEAN_PASS, self.actor.time,
+                  candidates=len(victims), cleaned=cleaned,
+                  blocks_forwarded=self.blocks_forwarded - blocks_before,
+                  actor=self.actor.name)
         return cleaned
 
     def run(self, max_passes: int = 64) -> int:
@@ -167,6 +174,9 @@ class Cleaner:
             # current; bmapv already guaranteed that.
             fs.lfs_markv(live_blocks, self.actor)
             self.blocks_forwarded += len(live_blocks)
+            obs.counter("cleaner_blocks_forwarded_total",
+                        "live blocks re-appended by the cleaner").inc(
+                            len(live_blocks))
         for inum in live_inodes:
             fs.get_inode(inum, self.actor)
             fs.mark_inode_dirty(inum)
@@ -175,4 +185,6 @@ class Cleaner:
         seg.live_bytes = 0
         seg.cache_tag = UNASSIGNED
         self.segments_cleaned += 1
+        obs.counter("cleaner_segments_cleaned_total",
+                    "dirty segments reclaimed by the cleaner").inc()
         return True

@@ -1,0 +1,117 @@
+"""Unified observability: a metrics registry plus an event trace.
+
+One process-wide :class:`~repro.obs.registry.MetricsRegistry` and one
+:class:`~repro.obs.trace.TraceRecorder` observe the whole stack — block
+devices, the buffer cache, the cleaner, the migrator, the I/O server,
+the service process, and the jukebox robot all record through the
+module-level helpers here.  ``TimeAccount``, ``RateMeter``, and
+``PhaseTimer`` mirror their charges into the same registry, so one
+snapshot (:mod:`repro.obs.report`) covers everything a run did.
+
+Usage from a hot path::
+
+    from repro import obs
+    obs.counter("ioserver_segments_fetched_total").inc()
+    obs.event(obs.EV_SEGMENT_FETCH, actor.time, tsegno=7, bytes=nbytes)
+
+Both sinks are bounded (the trace is a ring buffer; metric families cap
+their label cardinality) and can be disabled for zero-cost operation.
+Benchmarks call :func:`reset` between runs so every dump describes one
+run only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.obs.registry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                                MetricError, MetricFamily, MetricsRegistry)
+from repro.obs.trace import (EVENT_TYPES, EV_CACHE_EJECT, EV_CLEAN_PASS,
+                             EV_FAULT_INJECTED, EV_MIGRATE_PICK,
+                             EV_SEGMENT_FETCH, EV_SEGMENT_WRITEOUT,
+                             EV_VOLUME_SWITCH, TraceError, TraceEvent,
+                             TraceRecorder, register_event_type)
+
+__all__ = [
+    "MetricsRegistry", "MetricFamily", "Counter", "Gauge", "Histogram",
+    "MetricError", "DEFAULT_BUCKETS",
+    "TraceRecorder", "TraceEvent", "TraceError", "EVENT_TYPES",
+    "register_event_type",
+    "EV_SEGMENT_FETCH", "EV_SEGMENT_WRITEOUT", "EV_CACHE_EJECT",
+    "EV_CLEAN_PASS", "EV_MIGRATE_PICK", "EV_VOLUME_SWITCH",
+    "EV_FAULT_INJECTED",
+    "metrics", "trace", "set_metrics", "set_trace",
+    "counter", "gauge", "histogram", "event",
+    "enable", "disable", "reset",
+]
+
+_metrics = MetricsRegistry()
+_trace = TraceRecorder()
+
+
+# -- the process-wide instances ---------------------------------------------
+
+def metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _metrics
+
+
+def trace() -> TraceRecorder:
+    """The process-wide trace recorder."""
+    return _trace
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (tests); returns the old one."""
+    global _metrics
+    old, _metrics = _metrics, registry
+    return old
+
+
+def set_trace(recorder: TraceRecorder) -> TraceRecorder:
+    """Swap the process-wide trace recorder (tests); returns the old one."""
+    global _trace
+    old, _trace = _trace, recorder
+    return old
+
+
+# -- recording shortcuts (what the hot paths call) --------------------------
+
+def counter(name: str, help: str = "",
+            labelnames: Tuple[str, ...] = ()) -> MetricFamily:
+    return _metrics.counter(name, help, labelnames)
+
+
+def gauge(name: str, help: str = "",
+          labelnames: Tuple[str, ...] = ()) -> MetricFamily:
+    return _metrics.gauge(name, help, labelnames)
+
+
+def histogram(name: str, help: str = "",
+              labelnames: Tuple[str, ...] = (),
+              buckets: Optional[Tuple[float, ...]] = None) -> MetricFamily:
+    return _metrics.histogram(name, help, labelnames, buckets)
+
+
+def event(etype: str, t: float, **fields: object) -> Optional[TraceEvent]:
+    """Emit one trace event stamped with virtual time ``t``."""
+    return _trace.emit(etype, t, **fields)
+
+
+# -- lifecycle --------------------------------------------------------------
+
+def enable() -> None:
+    _metrics.enable()
+    _trace.enabled = True
+
+
+def disable() -> None:
+    """Turn both sinks off (recording becomes a cheap no-op)."""
+    _metrics.disable()
+    _trace.enabled = False
+
+
+def reset() -> None:
+    """Zero all metrics and drop all events (run-boundary hygiene)."""
+    _metrics.reset()
+    _trace.clear()

@@ -1,0 +1,290 @@
+"""A process-wide metrics registry: counters, gauges, and histograms.
+
+The paper's evaluation attributes every second and byte to a phase
+(Tables 1-6); production hierarchy managers do the same continuously.
+This registry is the single sink those numbers flow into: hot paths
+record through it, :mod:`repro.obs.report` renders it, and the bench
+harness dumps it next to every run's results.
+
+Design points:
+
+* **Families + labels.**  ``registry.counter("device_io_bytes_total",
+  labelnames=("device", "op")).labels(device="rz57", op="read").inc(n)``.
+  A family is created once per name; children are memoised per label
+  tuple.  Label cardinality is capped per family so a bug in a hot path
+  cannot silently grow an unbounded series set.
+* **Zero-cost when disabled.**  Every record call checks one boolean on
+  the owning registry and returns immediately when it is off; no label
+  resolution, no allocation.
+* **Deterministic snapshots.**  ``snapshot()`` renders to plain dicts
+  with sorted series keys, so two identical runs produce byte-identical
+  JSON — which is what the golden-trace tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default latency buckets (seconds of virtual time): the interesting
+#: range spans sub-millisecond disk chunks to multi-minute robot swaps.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0)
+
+
+class MetricError(ValueError):
+    """Misuse of the metrics API (bad labels, kind clash, cardinality)."""
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_registry", "value")
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        self._registry = registry
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise MetricError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    __slots__ = ("_registry", "value")
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        self._registry = registry
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._registry.enabled:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._registry.enabled:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """A fixed-bucket distribution with sum and count."""
+
+    __slots__ = ("_registry", "buckets", "counts", "sum", "count")
+
+    def __init__(self, registry: "MetricsRegistry",
+                 buckets: Tuple[float, ...]) -> None:
+        self._registry = registry
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> Dict[str, int]:
+        """Bucket upper bound -> cumulative count (Prometheus ``le`` form)."""
+        out: Dict[str, int] = {}
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out[repr(bound)] = running
+        out["+Inf"] = running + self.counts[-1]
+        return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All series of one metric name, keyed by label values."""
+
+    def __init__(self, registry: "MetricsRegistry", name: str, kind: str,
+                 help: str = "", labelnames: Tuple[str, ...] = (),
+                 buckets: Optional[Tuple[float, ...]] = None,
+                 max_series: int = 1024) -> None:
+        self.registry = registry
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(buckets) if buckets else DEFAULT_BUCKETS
+        self.max_series = max_series
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **labelvalues: object):
+        """The child series for one label-value assignment."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}")
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            if len(self._children) >= self.max_series:
+                raise MetricError(
+                    f"metric {self.name!r} exceeded its series cap of "
+                    f"{self.max_series}; label values are too dynamic")
+            if self.kind == "histogram":
+                child = Histogram(self.registry, self.buckets)
+            else:
+                child = _KINDS[self.kind](self.registry)
+            self._children[key] = child
+        return child
+
+    # Label-less convenience: family.inc() / .set() / .observe() act on
+    # the single unlabelled series.
+    def _default(self):
+        if self.labelnames:
+            raise MetricError(
+                f"metric {self.name!r} has labels {self.labelnames}; "
+                "use .labels(...)")
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    def series(self) -> Iterable[Tuple[Tuple[str, ...], object]]:
+        return self._children.items()
+
+    def series_key(self, values: Tuple[str, ...]) -> str:
+        if not values:
+            return self.name
+        pairs = ",".join(f"{n}={v}" for n, v in zip(self.labelnames, values))
+        return f"{self.name}{{{pairs}}}"
+
+    def clear(self) -> None:
+        self._children.clear()
+
+
+class MetricsRegistry:
+    """The process-wide set of metric families."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._families: Dict[str, MetricFamily] = {}
+
+    # -- toggling ----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- family accessors (idempotent) -------------------------------------
+
+    def _family(self, name: str, kind: str, help: str,
+                labelnames: Tuple[str, ...],
+                buckets: Optional[Tuple[float, ...]] = None,
+                max_series: int = 1024) -> MetricFamily:
+        fam = self._families.get(name)
+        if fam is None:
+            fam = MetricFamily(self, name, kind, help, labelnames,
+                               buckets, max_series)
+            self._families[name] = fam
+            return fam
+        if fam.kind != kind:
+            raise MetricError(
+                f"metric {name!r} is a {fam.kind}, not a {kind}")
+        if tuple(labelnames) and fam.labelnames != tuple(labelnames):
+            raise MetricError(
+                f"metric {name!r} was registered with labels "
+                f"{fam.labelnames}, not {tuple(labelnames)}")
+        return fam
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Tuple[str, ...] = (),
+                max_series: int = 1024) -> MetricFamily:
+        return self._family(name, "counter", help, labelnames,
+                            max_series=max_series)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Tuple[str, ...] = (),
+              max_series: int = 1024) -> MetricFamily:
+        return self._family(name, "gauge", help, labelnames,
+                            max_series=max_series)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Tuple[str, ...] = (),
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  max_series: int = 1024) -> MetricFamily:
+        return self._family(name, "histogram", help, labelnames,
+                            buckets, max_series)
+
+    # -- reading -----------------------------------------------------------
+
+    def get(self, name: str, **labelvalues: object) -> float:
+        """Current value of one counter/gauge series (0.0 if absent)."""
+        fam = self._families.get(name)
+        if fam is None:
+            return 0.0
+        key = tuple(str(labelvalues[n]) for n in fam.labelnames
+                    if n in labelvalues)
+        if len(key) != len(fam.labelnames):
+            raise MetricError(
+                f"metric {name!r} needs labels {fam.labelnames}")
+        child = fam._children.get(key)
+        if child is None:
+            return 0.0
+        return child.value if not isinstance(child, Histogram) else child.sum
+
+    def families(self) -> List[MetricFamily]:
+        return [self._families[k] for k in sorted(self._families)]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict rendering: kind -> {series key -> value}."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        for fam in self.families():
+            section = out[fam.kind + "s"]
+            for values, child in sorted(fam.series()):
+                key = fam.series_key(values)
+                if isinstance(child, Histogram):
+                    section[key] = {"count": child.count, "sum": child.sum,
+                                    "buckets": child.cumulative()}
+                else:
+                    section[key] = child.value
+        return out
+
+    def reset(self) -> None:
+        """Zero every series (family definitions survive)."""
+        for fam in self._families.values():
+            fam.clear()

@@ -1,0 +1,78 @@
+"""Snapshot rendering: one combined metrics + trace view per run.
+
+The bench harness calls :func:`write_snapshot` after every benchmark so
+each run leaves a machine-readable record of what the system did —
+per-device I/O, cache behaviour, robot activity, and the full event
+trace — alongside the human-facing table output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceRecorder
+
+__all__ = ["snapshot", "render_text", "write_snapshot"]
+
+
+def snapshot(metrics: Optional[MetricsRegistry] = None,
+             trace: Optional[TraceRecorder] = None,
+             include_events: bool = True) -> Dict[str, object]:
+    """One plain-dict view of the registry and the trace ring."""
+    from repro import obs
+    metrics = metrics if metrics is not None else obs.metrics()
+    trace = trace if trace is not None else obs.trace()
+    out: Dict[str, object] = {"metrics": metrics.snapshot()}
+    trace_section: Dict[str, object] = {
+        "emitted": trace.emitted,
+        "dropped": trace.dropped,
+        "counts_by_type": trace.counts_by_type(),
+    }
+    if include_events:
+        trace_section["events"] = trace.to_list()
+    out["trace"] = trace_section
+    return out
+
+
+def render_text(snap: Optional[Dict[str, object]] = None) -> str:
+    """A terminal-friendly rendering of a snapshot."""
+    snap = snap if snap is not None else snapshot(include_events=False)
+    lines = ["== observability snapshot =="]
+    m = snap["metrics"]
+    for kind in ("counters", "gauges"):
+        section = m.get(kind, {})
+        if section:
+            lines.append(f"-- {kind} --")
+            for key, value in section.items():
+                lines.append(f"{key:<58} {value:>16.6g}")
+    hists = m.get("histograms", {})
+    if hists:
+        lines.append("-- histograms --")
+        for key, h in hists.items():
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            lines.append(f"{key:<58} n={h['count']:<8} "
+                         f"sum={h['sum']:.6g} mean={mean:.6g}")
+    t = snap["trace"]
+    lines.append(f"-- trace: {t['emitted']} events emitted, "
+                 f"{t['dropped']} dropped --")
+    for etype, n in t.get("counts_by_type", {}).items():
+        lines.append(f"{etype:<58} {n:>16}")
+    return "\n".join(lines)
+
+
+def write_snapshot(path: str,
+                   metrics: Optional[MetricsRegistry] = None,
+                   trace: Optional[TraceRecorder] = None,
+                   include_events: bool = True) -> str:
+    """Write a JSON snapshot; creates parent directories; returns path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    snap = snapshot(metrics, trace, include_events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snap, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

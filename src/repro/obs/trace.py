@@ -1,0 +1,181 @@
+"""Structured event tracing stamped with the virtual clock.
+
+Where the registry answers "how much", the trace answers "what happened,
+in what order".  Hot paths emit typed events — a demand fetch, a staged
+segment copied out, a cache line ejected, a robot arm swap — each
+stamped with the emitting actor's virtual time.  Events land in a
+bounded ring buffer and export losslessly to JSON/JSONL, which is what
+the golden-trace regression tests diff across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "TraceError",
+    "TraceEvent",
+    "TraceRecorder",
+    "EVENT_TYPES",
+    "register_event_type",
+    "EV_SEGMENT_FETCH",
+    "EV_SEGMENT_WRITEOUT",
+    "EV_CACHE_EJECT",
+    "EV_CLEAN_PASS",
+    "EV_MIGRATE_PICK",
+    "EV_VOLUME_SWITCH",
+    "EV_FAULT_INJECTED",
+]
+
+#: The event taxonomy.  One constant per observable state transition the
+#: paper's evaluation cares about.
+EV_SEGMENT_FETCH = "segment_fetch"        # tertiary -> disk cache line
+EV_SEGMENT_WRITEOUT = "segment_writeout"  # staged line -> tertiary volume
+EV_CACHE_EJECT = "cache_eject"            # read-only line dropped
+EV_CLEAN_PASS = "clean_pass"              # disk cleaner pass finished
+EV_MIGRATE_PICK = "migrate_pick"          # policy chose a migration unit
+EV_VOLUME_SWITCH = "volume_switch"        # robot swapped media in a drive
+EV_FAULT_INJECTED = "fault_injected"      # fault-injection harness acted
+
+EVENT_TYPES = {
+    EV_SEGMENT_FETCH,
+    EV_SEGMENT_WRITEOUT,
+    EV_CACHE_EJECT,
+    EV_CLEAN_PASS,
+    EV_MIGRATE_PICK,
+    EV_VOLUME_SWITCH,
+    EV_FAULT_INJECTED,
+}
+
+
+def register_event_type(etype: str) -> str:
+    """Extend the taxonomy (subsystems added later register here)."""
+    if not etype or not isinstance(etype, str):
+        raise TraceError(f"event type must be a non-empty string: {etype!r}")
+    EVENT_TYPES.add(etype)
+    return etype
+
+
+class TraceError(ValueError):
+    """Misuse of the tracing API."""
+
+
+class TraceEvent:
+    """One typed, virtual-clock-stamped event."""
+
+    __slots__ = ("etype", "t", "fields")
+
+    def __init__(self, etype: str, t: float, fields: Dict[str, object]) -> None:
+        self.etype = etype
+        self.t = t
+        self.fields = fields
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": self.etype, "t": self.t, "fields": self.fields}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "TraceEvent":
+        return cls(str(d["type"]), float(d["t"]), dict(d.get("fields", {})))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return (self.etype == other.etype and self.t == other.t
+                and self.fields == other.fields)
+
+    def __repr__(self) -> str:
+        return f"TraceEvent({self.etype!r}, t={self.t:.6f}, {self.fields})"
+
+
+class TraceRecorder:
+    """A bounded ring buffer of :class:`TraceEvent`."""
+
+    def __init__(self, capacity: int = 65536, enabled: bool = True) -> None:
+        if capacity <= 0:
+            raise TraceError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._events: deque = deque(maxlen=capacity)
+        #: Events emitted since the last :meth:`clear` (including any the
+        #: ring has since evicted).
+        self.emitted = 0
+        #: Events evicted because the ring was full.
+        self.dropped = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(self, etype: str, t: float, **fields: object) -> Optional[TraceEvent]:
+        """Record one event; returns it (None when tracing is disabled)."""
+        if not self.enabled:
+            return None
+        if etype not in EVENT_TYPES:
+            raise TraceError(
+                f"unknown event type {etype!r}; register it with "
+                "register_event_type() first")
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        event = TraceEvent(etype, float(t), fields)
+        self._events.append(event)
+        self.emitted += 1
+        return event
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+        self.dropped = 0
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, etype: Optional[str] = None) -> List[TraceEvent]:
+        if etype is None:
+            return list(self._events)
+        return [e for e in self._events if e.etype == etype]
+
+    def count(self, etype: Optional[str] = None) -> int:
+        if etype is None:
+            return len(self._events)
+        return sum(1 for e in self._events if e.etype == etype)
+
+    def counts_by_type(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self._events:
+            out[e.etype] = out.get(e.etype, 0) + 1
+        return dict(sorted(out.items()))
+
+    # -- export / import ---------------------------------------------------
+
+    def to_list(self) -> List[Dict[str, object]]:
+        return [e.to_dict() for e in self._events]
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(e.to_dict(), sort_keys=True)
+                         for e in self._events)
+
+    def write_jsonl(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            text = self.to_jsonl()
+            fh.write(text)
+            if text:
+                fh.write("\n")
+        return path
+
+    @staticmethod
+    def from_jsonl(text: str) -> List[TraceEvent]:
+        events = []
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+        return events
+
+    def load_jsonl(self, text: str) -> int:
+        """Replay serialized events into this recorder; returns the count."""
+        events = self.from_jsonl(text)
+        for e in events:
+            self.emit(e.etype, e.t, **e.fields)
+        return len(events)

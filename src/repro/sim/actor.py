@@ -13,6 +13,10 @@ class TimeAccount:
     Table 4 of the paper breaks migration elapsed time into *Footprint
     write*, *I/O server read*, and *migrator queuing* buckets; a
     ``TimeAccount`` is how our pipeline produces the same breakdown.
+
+    The local bucket map is authoritative; each charge is also mirrored
+    into the process-wide metrics registry (``time_account_seconds_total``)
+    so snapshots see the same numbers the bench tables report.
     """
 
     def __init__(self) -> None:
@@ -23,6 +27,10 @@ class TimeAccount:
         if seconds < 0:
             raise ValueError("cannot charge negative time")
         self._buckets[category] = self._buckets.get(category, 0.0) + seconds
+        from repro import obs
+        obs.counter("time_account_seconds_total",
+                    "virtual seconds charged to accounting categories",
+                    ("category",)).labels(category=category).inc(seconds)
 
     def get(self, category: str) -> float:
         """Total seconds charged to ``category`` (0.0 if never charged)."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.sim.actor import Actor
 
 
@@ -11,7 +12,9 @@ class RateMeter:
     """Accumulates (bytes, seconds) and reports throughput.
 
     Mirrors how the paper computes its throughput columns: total data
-    volume divided by elapsed virtual time.
+    volume divided by elapsed virtual time.  Local fields stay
+    authoritative; measurements are mirrored into the metrics registry
+    under ``rate_meter_bytes_total`` / ``rate_meter_seconds_total``.
     """
 
     def __init__(self, name: str = "") -> None:
@@ -25,6 +28,13 @@ class RateMeter:
             raise ValueError("negative measurement")
         self.bytes += nbytes
         self.seconds += seconds
+        if self.name:
+            obs.counter("rate_meter_bytes_total",
+                        "bytes accumulated by named rate meters",
+                        ("meter",)).labels(meter=self.name).inc(nbytes)
+            obs.counter("rate_meter_seconds_total",
+                        "seconds accumulated by named rate meters",
+                        ("meter",)).labels(meter=self.name).inc(seconds)
 
     def rate(self) -> float:
         """Bytes per second (0.0 if no time elapsed)."""
@@ -59,6 +69,8 @@ class PhaseTimer:
             raise ValueError(f"phase {name!r} was never begun")
         end = self._actor.time
         self.phases.append((name, start, end))
+        obs.histogram("phase_seconds", "closed phase-timer windows",
+                      ("phase",)).labels(phase=name).observe(end - start)
         return end - start
 
     def duration(self, name: str) -> float:

@@ -12,6 +12,25 @@ from repro.sim.actor import Actor
 from repro.util.units import MB
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate golden trace/metric files instead of comparing")
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_observability():
+    """Every test starts from zeroed metrics and an empty trace."""
+    from repro import obs
+    obs.reset()
+    yield
+
+
 @pytest.fixture
 def app():
     return Actor("app")

@@ -1,0 +1,119 @@
+"""Golden-trace regression test.
+
+Runs the quickstart-shaped workload (write -> migrate -> cached read ->
+eject -> demand-fetch read -> clean pass) under the deterministic virtual
+clock and compares the full event stream plus headline counters against
+a checked-in golden file.  Any change to event ordering, virtual-time
+stamps, or the demand-fetch/write-out/ejection counts shows up as a
+diff here.
+
+Regenerate after an intentional behaviour change with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_trace.py --update-golden
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.bench import harness
+from repro.lfs.cleaner import Cleaner, GreedyPolicy
+from repro.sim.actor import Actor
+from repro.util.units import MB
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "quickstart_trace.json")
+
+#: Deterministic 2 MB payload (quickstart uses os.urandom; golden runs
+#: must not).
+PAYLOAD = (b"HighLight golden trace payload!\n" * 32)[:1024] * (2 * MB // 1024)
+
+
+def run_workload():
+    """The golden workload; returns {"headline": ..., "events": ...}."""
+    obs.reset()
+    bed = harness.make_highlight(partition_bytes=128 * MB, n_platters=4)
+    harness.preload_write_volume(bed)
+    fs, app = bed.fs, bed.app
+
+    # 1. Write through the LFS log and checkpoint.
+    fs.mkdir("/data")
+    fs.write_path("/data/results.bin", PAYLOAD)
+    fs.checkpoint()
+
+    # 2. Age, then migrate to the MO changer.
+    app.sleep(3600)
+    bed.migrator.migrate_file("/data/results.bin")
+    bed.migrator.flush()
+    fs.checkpoint()
+
+    # 3. Read while the staged segments are still cached.
+    assert fs.read_path("/data/results.bin") == PAYLOAD
+
+    # 4. Eject everything; the re-read demand-fetches from the jukebox.
+    fs.service.flush_cache(app)
+    fs.drop_caches(drop_inodes=True)
+    assert fs.read_path("/data/results.bin") == PAYLOAD
+
+    # 5. One cleaner pass over the dirtied log.
+    cleaner = Cleaner(fs, GreedyPolicy(),
+                      actor=Actor("cleaner", clock=fs.actor.clock))
+    cleaner.clean_pass()
+
+    reg = obs.metrics()
+    headline = {
+        "segments_fetched": reg.get("ioserver_segments_fetched_total"),
+        "segments_written": reg.get("ioserver_segments_written_total"),
+        "demand_fetches": reg.get("service_demand_fetches_total"),
+        "cache_ejections": reg.get("segcache_ejections_total"),
+        "cleaner_passes": reg.get("cleaner_passes_total"),
+        "robot_swaps": float(bed.jukebox.swap_count),
+        "final_virtual_time": app.time,
+    }
+    return {"headline": headline, "events": obs.trace().to_list()}
+
+
+def test_trace_is_deterministic_across_runs():
+    """Two fresh runs with the same seed state produce identical event
+    streams and counters (the acceptance criterion for golden tracing)."""
+    first = run_workload()
+    second = run_workload()
+    assert first["headline"] == second["headline"]
+    assert first["events"] == second["events"]
+
+
+def test_matches_golden_trace(update_golden):
+    actual = run_workload()
+    if update_golden:
+        os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+        with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+            json.dump(actual, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        pytest.skip(f"golden file regenerated at {GOLDEN_PATH}")
+    if not os.path.exists(GOLDEN_PATH):
+        pytest.fail(f"golden file missing: {GOLDEN_PATH}; run with "
+                    "--update-golden to create it")
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        golden = json.load(fh)
+    assert actual["headline"] == golden["headline"]
+    # Compare events one by one for a readable diff on failure.
+    assert len(actual["events"]) == len(golden["events"])
+    for i, (got, want) in enumerate(zip(actual["events"], golden["events"])):
+        assert got == want, f"event {i} diverged: {got} != {want}"
+
+
+def test_golden_events_have_virtual_time_stamps():
+    result = run_workload()
+    events = result["events"]
+    assert events, "workload emitted no events"
+    for ev in events:
+        assert ev["t"] >= 0.0
+    types = {ev["type"] for ev in events}
+    # The round trip exercises the full taxonomy minus fault injection.
+    assert obs.EV_SEGMENT_WRITEOUT in types
+    assert obs.EV_SEGMENT_FETCH in types
+    assert obs.EV_CACHE_EJECT in types
+    assert obs.EV_VOLUME_SWITCH in types
+    assert obs.EV_CLEAN_PASS in types

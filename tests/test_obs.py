@@ -1,0 +1,415 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.ioserver import TABLE4_CATEGORIES
+from repro.obs.registry import (DEFAULT_BUCKETS, Histogram, MetricError,
+                                MetricsRegistry)
+from repro.obs.report import render_text, snapshot, write_snapshot
+from repro.obs.trace import (EVENT_TYPES, TraceError, TraceEvent,
+                             TraceRecorder, register_event_type)
+from repro.sim.actor import Actor
+from repro.util.units import MB
+
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry
+# ---------------------------------------------------------------------------
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total")
+        assert reg.get("ops_total") == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert reg.get("ops_total") == 3.5
+
+    def test_negative_increment_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricError):
+            reg.counter("ops_total").inc(-1)
+
+    def test_disabled_registry_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("ops_total")
+        c.inc()
+        c.inc(100)
+        assert reg.get("ops_total") == 0.0
+
+    def test_disable_then_enable(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total")
+        c.inc()
+        reg.disable()
+        c.inc()
+        reg.enable()
+        c.inc()
+        assert reg.get("ops_total") == 2.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert reg.get("depth") == 4.0
+
+    def test_disabled_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        g = reg.gauge("depth")
+        g.set(5)
+        assert reg.get("depth") == 0.0
+
+
+class TestHistogram:
+    def test_observe_buckets_and_sum(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            fam.observe(v)
+        h = fam.labels()
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.55)
+        assert h.counts == [1, 1, 1, 1]  # one per bucket + one +Inf
+        assert h.cumulative() == {"0.1": 1, "1.0": 2, "10.0": 3, "+Inf": 4}
+
+    def test_boundary_is_inclusive(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("lat", buckets=(1.0, 2.0))
+        fam.observe(1.0)
+        assert fam.labels().counts[0] == 1
+
+    def test_mean(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("lat")
+        assert fam.labels().mean() == 0.0
+        fam.observe(2.0)
+        fam.observe(4.0)
+        assert fam.labels().mean() == 3.0
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_registry_get_returns_sum(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("lat")
+        fam.observe(1.5)
+        fam.observe(2.5)
+        assert reg.get("lat") == 4.0
+
+
+class TestLabels:
+    def test_series_are_independent(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("io_total", labelnames=("device", "op"))
+        fam.labels(device="rz57", op="read").inc(3)
+        fam.labels(device="rz57", op="write").inc(5)
+        assert reg.get("io_total", device="rz57", op="read") == 3.0
+        assert reg.get("io_total", device="rz57", op="write") == 5.0
+
+    def test_children_are_memoised(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("io_total", labelnames=("op",))
+        assert fam.labels(op="read") is fam.labels(op="read")
+
+    def test_wrong_label_set_raises(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("io_total", labelnames=("device", "op"))
+        with pytest.raises(MetricError):
+            fam.labels(device="rz57")
+        with pytest.raises(MetricError):
+            fam.labels(device="rz57", op="read", extra="x")
+
+    def test_labelless_shortcut_rejected_on_labelled_family(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("io_total", labelnames=("op",))
+        with pytest.raises(MetricError):
+            fam.inc()
+
+    def test_cardinality_cap(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hot", labelnames=("key",), max_series=4)
+        for i in range(4):
+            fam.labels(key=i).inc()
+        with pytest.raises(MetricError):
+            fam.labels(key="one-too-many")
+
+    def test_get_without_required_labels_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("io_total", labelnames=("op",)).labels(op="read").inc()
+        with pytest.raises(MetricError):
+            reg.get("io_total")
+
+
+class TestRegistry:
+    def test_accessors_are_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(MetricError):
+            reg.gauge("a")
+
+    def test_label_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a", labelnames=("x",))
+        with pytest.raises(MetricError):
+            reg.counter("a", labelnames=("y",))
+
+    def test_get_absent_metric_is_zero(self):
+        assert MetricsRegistry().get("nope") == 0.0
+
+    def test_snapshot_shape_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total").inc(2)
+        reg.counter("a_total").inc(1)
+        reg.gauge("depth").set(7)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["a_total", "b_total"]
+        assert snap["gauges"]["depth"] == 7.0
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_snapshot_series_key_includes_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("io", labelnames=("device", "op")).labels(
+            device="rz57", op="read").inc()
+        assert "io{device=rz57,op=read}" in reg.snapshot()["counters"]
+
+    def test_reset_zeroes_but_keeps_families(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.reset()
+        assert reg.get("a") == 0.0
+        reg.counter("a").inc()  # same family still usable
+        assert reg.get("a") == 1.0
+
+    def test_snapshot_is_json_serialisable(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(0.2)
+        json.dumps(reg.snapshot())
+
+
+# ---------------------------------------------------------------------------
+# TraceRecorder
+# ---------------------------------------------------------------------------
+
+class TestTrace:
+    def test_emit_and_read_back(self):
+        tr = TraceRecorder()
+        ev = tr.emit(obs.EV_CACHE_EJECT, 12.5, tsegno=7)
+        assert len(tr) == 1
+        assert ev.etype == obs.EV_CACHE_EJECT
+        assert ev.t == 12.5
+        assert ev.fields == {"tsegno": 7}
+
+    def test_unknown_event_type_raises(self):
+        with pytest.raises(TraceError):
+            TraceRecorder().emit("made_up_event", 0.0)
+
+    def test_register_event_type_extends_taxonomy(self):
+        name = register_event_type("test_custom_event")
+        try:
+            assert TraceRecorder().emit(name, 1.0) is not None
+        finally:
+            EVENT_TYPES.discard(name)
+
+    def test_disabled_returns_none_and_records_nothing(self):
+        tr = TraceRecorder(enabled=False)
+        assert tr.emit(obs.EV_CLEAN_PASS, 0.0) is None
+        assert len(tr) == 0
+        assert tr.emitted == 0
+
+    def test_ring_buffer_bounds_and_drop_accounting(self):
+        tr = TraceRecorder(capacity=3)
+        for i in range(5):
+            tr.emit(obs.EV_CACHE_EJECT, float(i), i=i)
+        assert len(tr) == 3
+        assert tr.emitted == 5
+        assert tr.dropped == 2
+        assert [e.fields["i"] for e in tr.events()] == [2, 3, 4]
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(TraceError):
+            TraceRecorder(capacity=0)
+
+    def test_filtering_and_counts(self):
+        tr = TraceRecorder()
+        tr.emit(obs.EV_SEGMENT_FETCH, 1.0)
+        tr.emit(obs.EV_CACHE_EJECT, 2.0)
+        tr.emit(obs.EV_SEGMENT_FETCH, 3.0)
+        assert tr.count(obs.EV_SEGMENT_FETCH) == 2
+        assert [e.t for e in tr.events(obs.EV_SEGMENT_FETCH)] == [1.0, 3.0]
+        assert tr.counts_by_type() == {obs.EV_CACHE_EJECT: 1,
+                                       obs.EV_SEGMENT_FETCH: 2}
+
+    def test_jsonl_round_trip_is_lossless(self):
+        tr = TraceRecorder()
+        tr.emit(obs.EV_SEGMENT_FETCH, 1.0625, tsegno=4, bytes=1048576,
+                actor="app")
+        tr.emit(obs.EV_VOLUME_SWITCH, 13.5, volume="platter-00")
+        replayed = TraceRecorder.from_jsonl(tr.to_jsonl())
+        assert replayed == tr.events()
+
+    def test_write_jsonl(self, tmp_path):
+        tr = TraceRecorder()
+        tr.emit(obs.EV_CLEAN_PASS, 5.0, cleaned=2)
+        path = tr.write_jsonl(str(tmp_path / "trace.jsonl"))
+        text = open(path, encoding="utf-8").read()
+        assert TraceRecorder.from_jsonl(text) == tr.events()
+
+    def test_load_jsonl_replays_into_recorder(self):
+        src = TraceRecorder()
+        src.emit(obs.EV_MIGRATE_PICK, 2.0, tag="cold")
+        dst = TraceRecorder()
+        assert dst.load_jsonl(src.to_jsonl()) == 1
+        assert dst.events() == src.events()
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.emit(obs.EV_CLEAN_PASS, 0.0)
+        tr.clear()
+        assert len(tr) == 0 and tr.emitted == 0 and tr.dropped == 0
+
+    def test_virtual_clock_stamp(self):
+        actor = Actor("worker")
+        actor.sleep(42.25)
+        tr = TraceRecorder()
+        ev = tr.emit(obs.EV_SEGMENT_WRITEOUT, actor.time, actor=actor.name)
+        assert ev.t == 42.25
+
+    def test_event_equality_and_dict_round_trip(self):
+        ev = TraceEvent(obs.EV_FAULT_INJECTED, 3.0, {"kind": "media"})
+        assert TraceEvent.from_dict(ev.to_dict()) == ev
+
+
+# ---------------------------------------------------------------------------
+# Module-level helpers + report
+# ---------------------------------------------------------------------------
+
+class TestObsModule:
+    def test_process_wide_helpers(self):
+        obs.counter("helper_total").inc(2)
+        obs.gauge("helper_depth").set(3)
+        obs.histogram("helper_lat").observe(0.5)
+        obs.event(obs.EV_CLEAN_PASS, 1.0, cleaned=0)
+        assert obs.metrics().get("helper_total") == 2.0
+        assert obs.trace().count(obs.EV_CLEAN_PASS) == 1
+
+    def test_reset_clears_both_sinks(self):
+        obs.counter("helper_total").inc()
+        obs.event(obs.EV_CLEAN_PASS, 1.0)
+        obs.reset()
+        assert obs.metrics().get("helper_total") == 0.0
+        assert len(obs.trace()) == 0
+
+    def test_disable_makes_recording_noop(self):
+        obs.disable()
+        try:
+            obs.counter("helper_total").inc()
+            assert obs.event(obs.EV_CLEAN_PASS, 0.0) is None
+            assert obs.metrics().get("helper_total") == 0.0
+            assert len(obs.trace()) == 0
+        finally:
+            obs.enable()
+
+    def test_set_metrics_swaps_instances(self):
+        fresh = MetricsRegistry()
+        old = obs.set_metrics(fresh)
+        try:
+            obs.counter("swapped_total").inc()
+            assert fresh.get("swapped_total") == 1.0
+            assert old.get("swapped_total") == 0.0
+        finally:
+            obs.set_metrics(old)
+
+    def test_snapshot_combines_metrics_and_trace(self):
+        obs.counter("snap_total").inc()
+        obs.event(obs.EV_CACHE_EJECT, 2.0, tsegno=1)
+        snap = snapshot()
+        assert snap["metrics"]["counters"]["snap_total"] == 1.0
+        assert snap["trace"]["emitted"] == 1
+        assert snap["trace"]["counts_by_type"] == {obs.EV_CACHE_EJECT: 1}
+        assert snap["trace"]["events"][0]["type"] == obs.EV_CACHE_EJECT
+
+    def test_render_text_mentions_series(self):
+        obs.counter("rendered_total").inc(9)
+        text = render_text()
+        assert "rendered_total" in text
+        assert "observability snapshot" in text
+
+    def test_write_snapshot_creates_dirs(self, tmp_path):
+        obs.counter("written_total").inc()
+        path = write_snapshot(str(tmp_path / "deep" / "nest" / "snap.json"))
+        data = json.load(open(path, encoding="utf-8"))
+        assert data["metrics"]["counters"]["written_total"] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Table 4 completeness (satellite: categories partition elapsed time)
+# ---------------------------------------------------------------------------
+
+class TestTable4Accounting:
+    def test_categories_are_distinct(self):
+        assert len(set(TABLE4_CATEGORIES)) == len(TABLE4_CATEGORIES)
+
+    def test_categories_partition_elapsed_time(self, hl):
+        """Every virtual second inside a write-out or demand fetch lands in
+        exactly one Table-4 bucket: the account total equals the summed
+        wall-clock windows of the operations, and no charge falls outside
+        the declared categories."""
+        fs, app = hl.fs, hl.app
+        service = fs.service
+        account = fs.ioserver.account
+
+        payload = (b"HighLight Table4 " * 64)[:1024] * (2 * MB // 1024)
+        fs.mkdir("/d")
+        fs.write_path("/d/f.bin", payload)
+        fs.checkpoint()
+        app.sleep(3600)
+
+        windows = []
+
+        real_writeout = service.writeout_line
+
+        def timed_writeout(actor, tsegno):
+            t0 = actor.time
+            real_writeout(actor, tsegno)
+            windows.append(actor.time - t0)
+
+        real_fetch = service.demand_fetch
+
+        def timed_fetch(actor, tsegno):
+            t0 = actor.time
+            out = real_fetch(actor, tsegno)
+            windows.append(actor.time - t0)
+            return out
+
+        service.writeout_line = timed_writeout
+        service.demand_fetch = timed_fetch
+        account.clear()
+
+        hl.migrator.migrate_file("/d/f.bin")
+        hl.migrator.flush()
+        fs.checkpoint()
+        service.flush_cache(app)
+        fs.drop_caches(drop_inodes=True)
+        assert fs.read_path("/d/f.bin") == payload
+
+        assert fs.stats.demand_fetches > 0
+        assert fs.ioserver.segments_written > 0
+        breakdown = account.breakdown()
+        assert set(breakdown) <= set(TABLE4_CATEGORIES)
+        assert account.total() == pytest.approx(sum(windows), rel=1e-9)
+        # Non-overlap: each bucket individually stays within the total.
+        for category, seconds in breakdown.items():
+            assert 0.0 <= seconds <= account.total() + 1e-12

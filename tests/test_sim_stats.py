@@ -1,0 +1,179 @@
+"""Direct unit tests for the simulation measurement primitives:
+VirtualClock, TimeAccount, RateMeter, and PhaseTimer — plus their
+mirroring into the process-wide metrics registry."""
+
+import pytest
+
+from repro import obs
+from repro.sim.actor import Actor, TimeAccount
+from repro.sim.clock import VirtualClock
+from repro.sim.stats import PhaseTimer, RateMeter
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=7.5).now == 7.5
+
+    def test_advance_accumulates_and_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.25) == 1.75
+        assert clock.now == 1.75
+
+    def test_advance_negative_raises(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.001)
+
+    def test_advance_zero_is_allowed(self):
+        clock = VirtualClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_advance_to_is_monotonic(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+        clock.advance_to(5.0)  # in the past: no-op
+        assert clock.now == 10.0
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance(100.0)
+        clock.reset()
+        assert clock.now == 0.0
+        clock.reset(3.0)
+        assert clock.now == 3.0
+
+    def test_repr_shows_time(self):
+        assert "1.5" in repr(VirtualClock(start=1.5))
+
+
+class TestTimeAccount:
+    def test_charge_and_get(self):
+        acct = TimeAccount()
+        acct.charge("io", 2.0)
+        acct.charge("io", 1.0)
+        acct.charge("cpu", 0.5)
+        assert acct.get("io") == 3.0
+        assert acct.get("never") == 0.0
+        assert acct.total() == 3.5
+
+    def test_negative_charge_raises(self):
+        with pytest.raises(ValueError):
+            TimeAccount().charge("io", -1.0)
+
+    def test_breakdown_is_a_copy(self):
+        acct = TimeAccount()
+        acct.charge("io", 1.0)
+        acct.breakdown()["io"] = 99.0
+        assert acct.get("io") == 1.0
+
+    def test_percentages_sum_to_100(self):
+        acct = TimeAccount()
+        acct.charge("a", 1.0)
+        acct.charge("b", 3.0)
+        pct = acct.percentages()
+        assert pct["a"] == pytest.approx(25.0)
+        assert pct["b"] == pytest.approx(75.0)
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_percentages_of_empty_account(self):
+        assert TimeAccount().percentages() == {}
+
+    def test_clear(self):
+        acct = TimeAccount()
+        acct.charge("io", 1.0)
+        acct.clear()
+        assert acct.total() == 0.0
+
+    def test_mirrors_into_registry(self):
+        TimeAccount().charge("unit_test_cat", 2.5)
+        assert obs.metrics().get("time_account_seconds_total",
+                                 category="unit_test_cat") == 2.5
+
+    def test_local_state_survives_disabled_registry(self):
+        obs.disable()
+        try:
+            acct = TimeAccount()
+            acct.charge("io", 1.5)
+            assert acct.get("io") == 1.5  # facade stays authoritative
+            assert obs.metrics().get("time_account_seconds_total",
+                                     category="io") == 0.0
+        finally:
+            obs.enable()
+
+
+class TestRateMeter:
+    def test_rate_is_bytes_over_seconds(self):
+        meter = RateMeter("xfer")
+        meter.add(1000, 2.0)
+        meter.add(500, 1.0)
+        assert meter.bytes == 1500
+        assert meter.seconds == 3.0
+        assert meter.rate() == pytest.approx(500.0)
+
+    def test_zero_time_rate_is_zero(self):
+        assert RateMeter().rate() == 0.0
+
+    def test_negative_measurement_raises(self):
+        with pytest.raises(ValueError):
+            RateMeter().add(-1, 1.0)
+        with pytest.raises(ValueError):
+            RateMeter().add(1, -1.0)
+
+    def test_named_meter_mirrors_into_registry(self):
+        RateMeter("unit_test_meter").add(4096, 0.5)
+        reg = obs.metrics()
+        assert reg.get("rate_meter_bytes_total",
+                       meter="unit_test_meter") == 4096
+        assert reg.get("rate_meter_seconds_total",
+                       meter="unit_test_meter") == 0.5
+
+    def test_anonymous_meter_does_not_mirror(self):
+        RateMeter().add(4096, 0.5)
+        assert obs.metrics().get("rate_meter_bytes_total", meter="") == 0.0
+
+
+class TestPhaseTimer:
+    def test_begin_end_windows(self):
+        actor = Actor("bench")
+        timer = PhaseTimer(actor)
+        timer.begin("warm")
+        actor.sleep(2.0)
+        assert timer.end("warm") == pytest.approx(2.0)
+        assert timer.phases == [("warm", 0.0, 2.0)]
+
+    def test_double_begin_raises(self):
+        timer = PhaseTimer(Actor("bench"))
+        timer.begin("p")
+        with pytest.raises(ValueError):
+            timer.begin("p")
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(ValueError):
+            PhaseTimer(Actor("bench")).end("p")
+
+    def test_duration_sums_repeated_phases(self):
+        actor = Actor("bench")
+        timer = PhaseTimer(actor)
+        for _ in range(2):
+            timer.begin("p")
+            actor.sleep(1.5)
+            timer.end("p")
+        assert timer.duration("p") == pytest.approx(3.0)
+        assert timer.duration("missing") == 0.0
+
+    def test_end_observes_phase_histogram(self):
+        actor = Actor("bench")
+        timer = PhaseTimer(actor)
+        timer.begin("unit_test_phase")
+        actor.sleep(0.75)
+        timer.end("unit_test_phase")
+        fam = obs.metrics().histogram("phase_seconds",
+                                      labelnames=("phase",))
+        child = fam.labels(phase="unit_test_phase")
+        assert child.count == 1
+        assert child.sum == pytest.approx(0.75)
