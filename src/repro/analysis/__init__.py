@@ -1,0 +1,50 @@
+"""Domain-specific static analysis for the HighLight reproduction.
+
+The simulator's correctness rests on invariants the Python interpreter
+cannot enforce for us:
+
+* all simulated time flows through the virtual clock — a stray
+  ``time.time()`` or unseeded ``random`` silently breaks golden-trace
+  determinism (HL001);
+* raw block-device I/O is confined to the device layer, the block-map
+  driver, and the sanctioned line-I/O choke points, so every transfer is
+  charged to the virtual clock in one auditable place (HL002);
+* disk and tertiary block numbers live in one 32-bit space (paper §6.3,
+  Fig. 4) and must only be converted through :class:`AddressSpace`
+  helpers, never ad-hoc arithmetic (HL003);
+* every trace event type is part of the registered taxonomy (HL004);
+* metric label sets are bounded literals, matching the registry's
+  cardinality cap (HL005);
+* the filesystem core never swallows errors with blind ``except``
+  clauses (HL006).
+
+``python -m repro.analysis src`` runs every rule over a source tree and
+exits non-zero on findings; ``tests/test_analysis_clean.py`` runs the
+same pass as a tier-1 test.  Findings can be suppressed per line with
+``# noqa: HL0xx``.  See ``docs/ANALYSIS.md`` for the full rule catalogue.
+"""
+
+from repro.analysis.core import (AnalysisResult, Analyzer, Finding, Rule,
+                                 SourceFile)
+from repro.analysis.rules import ALL_RULES, default_rules
+
+__all__ = [
+    "AnalysisResult",
+    "Analyzer",
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "ALL_RULES",
+    "default_rules",
+    "run_paths",
+]
+
+
+def run_paths(paths, rules=None) -> "AnalysisResult":
+    """Analyze ``paths`` (files or directories) with ``rules``.
+
+    This is the library/pytest entry point; the CLI in
+    :mod:`repro.analysis.cli` is a thin wrapper around it.
+    """
+    analyzer = Analyzer(rules if rules is not None else default_rules())
+    return analyzer.run(paths)

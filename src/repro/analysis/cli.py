@@ -1,0 +1,85 @@
+"""Command-line driver: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 clean, 1 findings (or unparseable files), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import AnalysisError, Analyzer, Rule
+from repro.analysis.rules import ALL_RULES, default_rules
+
+
+def _select_rules(codes: Optional[str]) -> List[Rule]:
+    rules = default_rules()
+    if not codes:
+        return rules
+    wanted = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    known = {r.code for r in rules}
+    unknown = wanted - known
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule code(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}")
+    return [r for r in rules if r.code in wanted]
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in ALL_RULES:
+        lines.append(f"{cls.code}  {cls.name}")
+        lines.append(f"       {cls.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="HighLight domain-specific static analysis "
+                    "(invariants HL001-HL006; see docs/ANALYSIS.md)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        analyzer = Analyzer(_select_rules(args.select))
+        result = analyzer.run(args.paths)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.format())
+        for err in result.errors:
+            print(f"error: {err}")
+        counts = result.counts_by_code()
+        summary = ", ".join(f"{code}: {n}" for code, n in counts.items())
+        print(f"{len(result.findings)} finding(s) in "
+              f"{result.files_analyzed} file(s)"
+              + (f" [{summary}]" if summary else "")
+              + (f" ({len(result.suppressed)} suppressed)"
+                 if result.suppressed else ""))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

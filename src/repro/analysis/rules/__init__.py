@@ -1,0 +1,32 @@
+"""The HL rule catalogue.
+
+One module per rule; ``default_rules()`` instantiates the full suite
+with its production scoping, which is what the CLI, CI, and the tier-1
+cleanliness test all run.
+"""
+
+from typing import List
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.hl001_clock_purity import HL001ClockPurity
+from repro.analysis.rules.hl002_device_io import HL002DeviceIO
+from repro.analysis.rules.hl003_address_domain import HL003AddressDomain
+from repro.analysis.rules.hl004_trace_events import HL004TraceEvents
+from repro.analysis.rules.hl005_metric_labels import HL005MetricLabels
+from repro.analysis.rules.hl006_exceptions import HL006ExceptionDiscipline
+
+ALL_RULES = (
+    HL001ClockPurity,
+    HL002DeviceIO,
+    HL003AddressDomain,
+    HL004TraceEvents,
+    HL005MetricLabels,
+    HL006ExceptionDiscipline,
+)
+
+__all__ = ["ALL_RULES", "default_rules"] + [cls.__name__ for cls in ALL_RULES]
+
+
+def default_rules() -> List[Rule]:
+    """The full suite with each rule's default scoping."""
+    return [cls() for cls in ALL_RULES]

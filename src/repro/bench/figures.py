@@ -9,7 +9,7 @@ depicts, so the figure benchmarks can assert the layout invariants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.bench import harness
 from repro.lfs.constants import RESERVED_BLOCKS, UNASSIGNED

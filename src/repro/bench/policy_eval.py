@@ -15,12 +15,10 @@ popularity is skewed.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.bench import harness
-from repro.bench.report import TableReport
 from repro.core.migrator import Migrator
 from repro.core.policies import (AccessTimePolicy, NamespacePolicy,
                                  STPPolicy)

@@ -11,13 +11,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.bench import harness
 from repro.bench.report import TableReport, throughput_kbs
 from repro.blockdev import profiles
-from repro.blockdev.bus import SCSIBus
 from repro.core.ioserver import (CAT_FOOTPRINT_WRITE, CAT_IOSERVER_READ,
                                  CAT_QUEUING)
 from repro.core.migrator import MigrationPipeline
 from repro.footprint.robot import JukeboxFootprint
-from repro.lfs.summary import (FINFO_FIXED, HEADER_SIZE, PER_BLOCK,
-                               PER_INOBLK, SegmentSummary, FileInfo)
+from repro.lfs.summary import HEADER_SIZE, SegmentSummary, FileInfo
 from repro.sim.actor import Actor
 from repro.util.units import KB, MB
 from repro.workloads.largeobject import LargeObjectBenchmark, PhaseResult
@@ -364,15 +362,17 @@ def run_table5(transfer_mb: int = 10) -> Tuple[Dict[str, float], TableReport]:
     for key, profile in (("rz57", profiles.RZ57), ("rz58", profiles.RZ58)):
         disk = profiles.make_disk(profile)
         actor = Actor("dd")
-        disk.read(actor, 0, 1)  # spin-up: position the arm once
+        # Table 5 measures the bare device, dd-style: raw access is the
+        # point of the benchmark, not a block-map bypass.
+        disk.read(actor, 0, 1)  # noqa: HL002 -- spin-up: position the arm
         t0 = actor.time
         for i in range(transfer_mb):
-            disk.read(actor, i * 256, 256)
+            disk.read(actor, i * 256, 256)  # noqa: HL002 -- raw bench
         results[f"{key}_read"] = throughput_kbs(transfer_mb * MB,
                                                 actor.time - t0)
         t0 = actor.time
         for i in range(transfer_mb):
-            disk.write(actor, 100_000 + i * 256, bytes(MB))
+            disk.write(actor, 100_000 + i * 256, bytes(MB))  # noqa: HL002 -- raw bench
         results[f"{key}_write"] = throughput_kbs(transfer_mb * MB,
                                                  actor.time - t0)
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Optional
+from typing import Dict
 
 from repro import obs
 from repro.errors import AddressError, InvalidArgument
@@ -99,16 +99,18 @@ class DeviceStats:
         self.seek_seconds += seek_seconds
         self.transfer_seconds += transfer_seconds
         if self.device:
-            labels = {"device": self.device, "op": op}
             obs.counter("device_io_ops_total",
                         "I/O operations completed per device",
-                        ("device", "op")).labels(**labels).inc()
+                        ("device", "op")).labels(
+                            device=self.device, op=op).inc()
             obs.counter("device_io_bytes_total",
                         "bytes transferred per device",
-                        ("device", "op")).labels(**labels).inc(nbytes)
+                        ("device", "op")).labels(
+                            device=self.device, op=op).inc(nbytes)
             obs.histogram("device_io_seconds",
                           "virtual seconds per I/O (positioning + transfer)",
-                          ("device", "op")).labels(**labels).observe(
+                          ("device", "op")).labels(
+                              device=self.device, op=op).observe(
                               seek_seconds + transfer_seconds)
 
     def snapshot(self) -> Dict[str, float]:

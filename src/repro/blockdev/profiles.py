@@ -22,7 +22,7 @@ why clustered FS I/O cannot reach raw streaming rates.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.blockdev.base import CPUModel
 from repro.blockdev.bus import SCSIBus

@@ -151,6 +151,47 @@ class AddressSpace:
         self.disk_nsegs += extra_segs
 
 
+def _check_disk_range(aspace: AddressSpace, daddr: int, nblocks: int) -> None:
+    """Raise AddressError unless [daddr, daddr+nblocks) is disk-backed."""
+    if nblocks <= 0:
+        raise InvalidArgument(f"nblocks must be positive, got {nblocks}")
+    if not (aspace.is_disk_daddr(daddr)
+            and aspace.is_disk_daddr(daddr + nblocks - 1)):
+        raise AddressError(
+            f"line I/O [{daddr}, {daddr + nblocks}) leaves the disk "
+            f"region of the address space")
+
+
+def line_read(disk: BlockDevice, actor: Actor, daddr: int, nblocks: int,
+              aspace: Optional[AddressSpace] = None) -> bytes:
+    """The sanctioned raw-disk read path for cache/staging lines.
+
+    Paper §6.7: the I/O server accesses the on-disk cache "directly via
+    a character (raw) pseudo-device" to avoid buffer-cache copies; the
+    migrator, cleaners, and replica manager share that path.  Routing
+    every such access through this helper keeps raw line I/O in one
+    auditable place (the HL002 static-analysis invariant) and, when an
+    :class:`AddressSpace` is supplied, verifies the transfer stays
+    inside the disk region — a pure arithmetic check that charges no
+    virtual time, so timing is identical to a direct device call.
+    """
+    if aspace is not None:
+        _check_disk_range(aspace, daddr, nblocks)
+    return disk.read(actor, daddr, nblocks)
+
+
+def line_write(disk: BlockDevice, actor: Actor, daddr: int, data: bytes,
+               aspace: Optional[AddressSpace] = None) -> None:
+    """The sanctioned raw-disk write path for cache/staging lines.
+
+    Counterpart of :func:`line_read`; see its docstring.
+    """
+    if aspace is not None:
+        nblocks = max(1, len(data) // BLOCK_SIZE)
+        _check_disk_range(aspace, daddr, nblocks)
+    disk.write(actor, daddr, data)
+
+
 class BlockMapDriver:
     """Dispatches unified-space I/O to disk, segment cache, or tertiary.
 

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.sim.actor import Actor
 
 
 class AdaptiveCacheSizer:

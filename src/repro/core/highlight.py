@@ -10,7 +10,7 @@ tertiary volume.  Layering follows the paper's Fig. 5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro import obs
 from repro.blockdev.base import BlockDevice, CPUModel

@@ -21,9 +21,8 @@ from typing import Optional
 
 from repro import obs
 from repro.blockdev.base import BlockDevice
-from repro.errors import EndOfMedium
+from repro.core.addressing import line_read, line_write
 from repro.footprint.interface import FootprintInterface
-from repro.lfs.constants import BLOCK_SIZE
 from repro.sim.actor import Actor, TimeAccount
 
 #: Table 4 category names.
@@ -84,7 +83,8 @@ class IOServer:
         image = self.footprint.read(actor, vol_id, blkno, bps)
         self.account.charge(CAT_FOOTPRINT_READ, actor.time - t0)
         t0 = actor.time
-        self.disk.write(actor, self.aspace.seg_base(disk_segno), image)
+        line_write(self.disk, actor, self.aspace.seg_base(disk_segno), image,
+                   self.aspace)
         self.account.charge(CAT_DISK_WRITE, actor.time - t0)
         self.segments_fetched += 1
         obs.counter("ioserver_segments_fetched_total",
@@ -124,7 +124,8 @@ class IOServer:
         while offset < bps:
             run = min(self.io_chunk_blocks, bps - offset)
             t0 = actor.time
-            chunks.append(self.disk.read(actor, line_base + offset, run))
+            chunks.append(line_read(self.disk, actor, line_base + offset,
+                                    run, self.aspace))
             self.account.charge(CAT_IOSERVER_READ, actor.time - t0)
             offset += run
             yield

@@ -23,10 +23,10 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro import obs
+from repro.core.addressing import line_read
 from repro.errors import InvalidArgument, MigrationError
-from repro.lfs.constants import (BLOCK_SIZE, DOUBLE_ROOT_LBN, NDADDR,
-                                 PTRS_PER_BLOCK, SINGLE_ROOT_LBN, UNASSIGNED,
-                                 double_child_lbn)
+from repro.lfs.constants import (BLOCK_SIZE, DOUBLE_ROOT_LBN, PTRS_PER_BLOCK,
+                                 SINGLE_ROOT_LBN, UNASSIGNED, double_child_lbn)
 from repro.lfs.inode import Inode, unpack_inode_block
 from repro.lfs.summary import SegmentSummary
 from repro.core.staging import StagingBuilder
@@ -323,14 +323,15 @@ class Migrator:
         if self.builder is not None and self.builder.tsegno == old_tsegno:
             self.builder = None
         line_base = fs.aspace.seg_base(disk_segno)
-        raw = fs.disk.read(actor, line_base, 1)
+        raw = line_read(fs.disk, actor, line_base, 1, fs.aspace)
         summary = SegmentSummary.try_unpack(raw, fs.config.summary_size)
         if summary is None:
             raise MigrationError(
                 f"staging line for segment {old_tsegno} has no summary")
         old_base = fs.aspace.seg_base(old_tsegno)
         ndata = summary.ndata_blocks()
-        image = fs.disk.read(actor, line_base + 1, ndata) if ndata else b""
+        image = (line_read(fs.disk, actor, line_base + 1, ndata, fs.aspace)
+                 if ndata else b"")
         # Re-stage live payload blocks.
         index = 0
         for fi in summary.finfos:
@@ -348,7 +349,8 @@ class Migrator:
         # Re-stage inodes that lived in the failed segment.
         for ino_daddr in summary.inode_daddrs:
             offset = ino_daddr - old_base - 1
-            blk_raw = fs.disk.read(actor, line_base + 1 + offset, 1)
+            blk_raw = line_read(fs.disk, actor, line_base + 1 + offset, 1,
+                                fs.aspace)
             for ino in unpack_inode_block(blk_raw):
                 entry = fs.ifile.imap_lookup(ino.inum)
                 if entry is None or entry.daddr != ino_daddr:

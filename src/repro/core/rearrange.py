@@ -26,7 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import MigrationError, TertiaryExhausted
+from repro.core.addressing import line_read
+from repro.errors import AddressError, FileNotFound, TertiaryExhausted
 from repro.lfs.constants import BLOCK_SIZE
 from repro.lfs.inode import unpack_inode_block
 from repro.lfs.summary import SegmentSummary
@@ -126,7 +127,7 @@ class SegmentRearranger:
     def _already_clustered(self, run: List[int]) -> bool:
         try:
             locations = [self.fs.aspace.volume_of(t) for t in run]
-        except Exception:
+        except AddressError:
             return False
         vols = {vol for vol, _seg in locations}
         if len(vols) > 1:
@@ -165,7 +166,8 @@ class SegmentRearranger:
             # line; fetch it back (the paper's read-time-rewrite variant).
             disk_segno = fs.service.demand_fetch(actor, tsegno)
         line_base = fs.aspace.seg_base(disk_segno)
-        image = fs.disk.read(actor, line_base, fs.config.blocks_per_seg)
+        image = line_read(fs.disk, actor, line_base,
+                          fs.config.blocks_per_seg, fs.aspace)
         summary = SegmentSummary.try_unpack(image[:BLOCK_SIZE],
                                             fs.config.summary_size)
         if summary is None:
@@ -176,7 +178,7 @@ class SegmentRearranger:
         for fi in summary.finfos:
             try:
                 ino = fs.get_inode(fi.ino, actor)
-            except Exception:
+            except FileNotFound:
                 index += len(fi.blocks)
                 continue
             for lbn in fi.blocks:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.addressing import line_read, line_write
 from repro.errors import TertiaryExhausted
 from repro.sim.actor import Actor
 
@@ -48,8 +49,8 @@ class ReplicaManager:
         disk_segno = fs.cache.lookup(tsegno)
         if disk_segno is None:
             return 0
-        image = fs.disk.read(actor, fs.aspace.seg_base(disk_segno),
-                             fs.config.blocks_per_seg)
+        image = line_read(fs.disk, actor, fs.aspace.seg_base(disk_segno),
+                          fs.config.blocks_per_seg, fs.aspace)
         written = 0
         locations = self.catalog.setdefault(tsegno, [])
         primary_vol, _ = fs.aspace.volume_of(tsegno)
@@ -133,7 +134,8 @@ class ReplicaManager:
         blkno = seg_in_vol * fs.aspace.blocks_per_seg
         image = fs.footprint.read(actor, vol_id, blkno,
                                   fs.aspace.blocks_per_seg)
-        fs.disk.write(actor, fs.aspace.seg_base(disk_segno), image)
+        line_write(fs.disk, actor, fs.aspace.seg_base(disk_segno), image,
+                   fs.aspace)
         if (vol, seg_in_vol) != fs.aspace.volume_of(tsegno):
             self.replica_reads += 1
 

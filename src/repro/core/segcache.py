@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 from repro import obs
 from repro.errors import StagingFull
 from repro.lfs.constants import UNASSIGNED
-from repro.lfs.ifile import SEG_CACHED, SEG_CLEAN, SEG_DIRTY, SEG_STAGING
+from repro.lfs.ifile import SEG_CACHED, SEG_CLEAN, SEG_STAGING
 from repro.sim.actor import Actor
 
 

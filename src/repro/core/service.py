@@ -16,7 +16,7 @@ the synchronous building blocks both modes share.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from repro import obs
 from repro.core.ioserver import CAT_QUEUING

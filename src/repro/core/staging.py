@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.core.addressing import line_write
 from repro.errors import InvalidArgument
 from repro.lfs.constants import BLOCK_SIZE
 from repro.lfs.inode import Inode, pack_inode_block
@@ -119,8 +120,9 @@ class StagingBuilder:
                 self.blocks[self._spilled:self._spilled + take])
             # Cleaner-style gather copy, then the raw write to the line.
             self.fs.cpu.copy(actor, len(chunk))
-            self.fs.disk.write(actor,
-                               self.line_base + 1 + self._spilled, chunk)
+            line_write(self.fs.disk, actor,
+                       self.line_base + 1 + self._spilled, chunk,
+                       self.fs.aspace)
             self._spilled += take
             wrote = True
             if not all_pending:
@@ -141,8 +143,8 @@ class StagingBuilder:
         self.summary.compute_datasum(self.blocks)
         raw = self.summary.pack(self.fs.config.summary_size)
         self.fs.cpu.copy(actor, BLOCK_SIZE)
-        self.fs.disk.write(actor, self.line_base,
-                           raw.ljust(BLOCK_SIZE, b"\0"))
+        line_write(self.fs.disk, actor, self.line_base,
+                   raw.ljust(BLOCK_SIZE, b"\0"), self.fs.aspace)
         self.finalized = True
 
     def used_bytes(self) -> int:

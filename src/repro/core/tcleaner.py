@@ -16,9 +16,10 @@ blocks, then resets the emptied volume for reuse.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
-from repro.errors import InvalidArgument
+from repro.core.addressing import line_read
+from repro.errors import FileNotFound, InvalidArgument
 from repro.lfs.constants import BLOCK_SIZE
 from repro.lfs.inode import unpack_inode_block
 from repro.lfs.summary import SegmentSummary
@@ -112,9 +113,9 @@ class TertiaryCleaner:
         # (without polluting the cache — this is a bulk scan).
         disk_segno = fs.cache.lookup(tsegno)
         if disk_segno is not None:
-            image = fs.disk.read(self.actor,
-                                 fs.aspace.seg_base(disk_segno),
-                                 fs.config.blocks_per_seg)
+            image = line_read(fs.disk, self.actor,
+                              fs.aspace.seg_base(disk_segno),
+                              fs.config.blocks_per_seg, fs.aspace)
         else:
             image = fs.ioserver.read_segment_image(self.actor, tsegno)
         summary = SegmentSummary.try_unpack(image[:BLOCK_SIZE],
@@ -127,7 +128,7 @@ class TertiaryCleaner:
         for fi in summary.finfos:
             try:
                 ino = fs.get_inode(fi.ino, self.actor)
-            except Exception:
+            except FileNotFound:
                 index += len(fi.blocks)
                 continue
             for lbn in fi.blocks:

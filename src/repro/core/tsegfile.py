@@ -11,8 +11,8 @@ a time, §6.5) and which volumes have hit end-of-medium.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.errors import CorruptFilesystem, InvalidArgument, TertiaryExhausted
 from repro.lfs.constants import BLOCK_SIZE

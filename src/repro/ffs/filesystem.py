@@ -18,7 +18,7 @@ from repro.lfs.buffercache import BufferCache
 from repro.lfs.constants import BLOCK_SIZE, ROOT_INUM
 from repro.lfs.directory import Directory
 from repro.lfs.inode import (Inode, INODE_SIZE, INODES_PER_BLOCK, S_IFDIR,
-                             S_IFREG, find_inode_in_block, pack_inode_block)
+                             S_IFREG, find_inode_in_block)
 from repro.ffs.allocator import CylinderGroupAllocator
 from repro.sim.actor import Actor
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
+from repro.errors import AddressError
 from repro.lfs.constants import (BLOCK_SIZE, IFILE_INUM, ROOT_INUM,
                                  UNASSIGNED)
 from repro.lfs.inode import find_inode_in_block
@@ -64,7 +65,7 @@ class CheckReport:
 def _segment_valid(fs, daddr: int) -> bool:
     try:
         segno = fs.segno_of(daddr)
-    except Exception:
+    except AddressError:
         return False
     if fs.is_disk_segno(segno):
         return True
@@ -176,7 +177,7 @@ def _live_per_segment(fs, seen_daddrs) -> Dict[int, int]:
     for daddr in seen_daddrs:
         try:
             segno = fs.segno_of(daddr)
-        except Exception:
+        except AddressError:
             continue
         per_seg[segno] = per_seg.get(segno, 0) + 1
     return per_seg

@@ -20,7 +20,7 @@ from typing import List, Optional, Tuple
 
 from repro import obs
 from repro.lfs.constants import BLOCK_SIZE, UNASSIGNED
-from repro.lfs.ifile import SEG_ACTIVE, SEG_CACHED, SEG_CLEAN, SEG_DIRTY, SEG_GONE
+from repro.lfs.ifile import SEG_CACHED, SEG_CLEAN, SEG_GONE
 from repro.lfs.inode import unpack_inode_block
 from repro.lfs.summary import SegmentSummary
 from repro.sim.actor import Actor

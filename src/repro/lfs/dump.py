@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
+from repro.errors import ReproError
 from repro.lfs.constants import BLOCK_SIZE, UNASSIGNED
 from repro.lfs.ifile import (SEG_ACTIVE, SEG_CACHED, SEG_CLEAN, SEG_DIRTY,
                              SEG_STAGING)
@@ -65,8 +66,8 @@ def walk_log(fs, start_daddr: Optional[int] = None,
         seen.add(pos)
         try:
             raw = fs.dev_read(actor, pos, 1)
-        except Exception:
-            return
+        except ReproError:
+            return  # ran off the mapped log: end of the walk
         summary = SegmentSummary.try_unpack(raw, fs.config.summary_size)
         if summary is None:
             return
@@ -74,8 +75,8 @@ def walk_log(fs, start_daddr: Optional[int] = None,
         for daddr in summary.inode_daddrs:
             try:
                 blk = fs.dev_read(actor, daddr, 1)
-            except Exception:
-                continue
+            except ReproError:
+                continue  # summary points at an unmapped inode block
             info.inodes.extend(unpack_inode_block(blk))
         yield info
         pos = summary.next_daddr

@@ -19,7 +19,7 @@ bytes.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.blockdev.base import BlockDevice, CPUModel
@@ -27,15 +27,13 @@ from repro.errors import (FileExists, FileNotFound, InvalidArgument,
                           IsADirectory, DirectoryNotEmpty, NoSpace,
                           NotADirectory)
 from repro.lfs.buffercache import BufferCache
-from repro.lfs.constants import (BLOCK_SIZE, BLOCKS_PER_SEG, DOUBLE_ROOT_LBN,
+from repro.lfs.constants import (BLOCK_SIZE, DOUBLE_ROOT_LBN,
                                  FIRST_DOUBLE_CHILD_LBN, IFILE_INUM, MAX_LBN,
                                  NDADDR, PTRS_PER_BLOCK, RESERVED_BLOCKS,
                                  ROOT_INUM, SEGMENT_SIZE, SINGLE_ROOT_LBN,
-                                 SUMMARY_SIZE_LFS, UNASSIGNED,
-                                 double_child_lbn)
+                                 SUMMARY_SIZE_LFS, UNASSIGNED, double_child_lbn)
 from repro.lfs.directory import Directory
-from repro.lfs.ifile import (IFile, IMapEntry, SEG_ACTIVE, SEG_CACHED,
-                             SEG_CLEAN, SEG_DIRTY, SEG_GONE)
+from repro.lfs.ifile import IFile, IMapEntry, SEG_ACTIVE, SEG_DIRTY
 from repro.lfs.inode import (Inode, S_IFDIR, S_IFREG, find_inode_in_block)
 from repro.lfs.superblock import Checkpoint, Superblock
 from repro.sim.actor import Actor

@@ -17,7 +17,7 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
-from repro.errors import CorruptFilesystem, InvalidArgument, NoSpace
+from repro.errors import CorruptFilesystem, InvalidArgument
 from repro.lfs.constants import (BLOCK_SIZE, FIRST_FREE_INUM, UNASSIGNED)
 
 # Segment state flags (paper Fig. 1/Fig. 3 state keys).

@@ -16,10 +16,10 @@ Flush ordering guarantees within one call:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.errors import InvalidArgument
-from repro.lfs.constants import BLOCK_SIZE, IFILE_INUM, INODES_PER_BLOCK, UNASSIGNED
+from repro.lfs.constants import BLOCK_SIZE, INODES_PER_BLOCK, UNASSIGNED
 from repro.lfs.ifile import SEG_ACTIVE, SEG_CLEAN, SEG_DIRTY
 from repro.lfs.inode import Inode, pack_inode_block
 from repro.lfs.summary import FileInfo, SegmentSummary, SS_DIROP

@@ -26,16 +26,18 @@ from typing import Optional, Tuple
 
 from repro.obs.registry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
                                 MetricError, MetricFamily, MetricsRegistry)
-from repro.obs.trace import (EVENT_TYPES, EV_CACHE_EJECT, EV_CLEAN_PASS,
-                             EV_FAULT_INJECTED, EV_MIGRATE_PICK,
-                             EV_SEGMENT_FETCH, EV_SEGMENT_WRITEOUT,
-                             EV_VOLUME_SWITCH, TraceError, TraceEvent,
-                             TraceRecorder, register_event_type)
+from repro.obs.trace import (BASE_EVENT_TYPES, EVENT_TYPES, EV_CACHE_EJECT,
+                             EV_CLEAN_PASS, EV_FAULT_INJECTED,
+                             EV_MIGRATE_PICK, EV_SEGMENT_FETCH,
+                             EV_SEGMENT_WRITEOUT, EV_VOLUME_SWITCH,
+                             TraceError, TraceEvent, TraceRecorder,
+                             register_event_type)
 
 __all__ = [
     "MetricsRegistry", "MetricFamily", "Counter", "Gauge", "Histogram",
     "MetricError", "DEFAULT_BUCKETS",
-    "TraceRecorder", "TraceEvent", "TraceError", "EVENT_TYPES",
+    "TraceRecorder", "TraceEvent", "TraceError",
+    "BASE_EVENT_TYPES", "EVENT_TYPES",
     "register_event_type",
     "EV_SEGMENT_FETCH", "EV_SEGMENT_WRITEOUT", "EV_CACHE_EJECT",
     "EV_CLEAN_PASS", "EV_MIGRATE_PICK", "EV_VOLUME_SWITCH",

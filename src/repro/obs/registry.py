@@ -23,7 +23,7 @@ Design points:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "MetricError",
@@ -140,7 +140,7 @@ class MetricFamily:
         self.max_series = max_series
         self._children: Dict[Tuple[str, ...], object] = {}
 
-    def labels(self, **labelvalues: object):
+    def labels(self, **labelvalues: object) -> Any:
         """The child series for one label-value assignment."""
         if set(labelvalues) != set(self.labelnames):
             raise MetricError(

@@ -11,13 +11,15 @@ the golden-trace regression tests diff across runs.
 from __future__ import annotations
 
 import json
+import re
 from collections import deque
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Set
 
 __all__ = [
     "TraceError",
     "TraceEvent",
     "TraceRecorder",
+    "BASE_EVENT_TYPES",
     "EVENT_TYPES",
     "register_event_type",
     "EV_SEGMENT_FETCH",
@@ -39,7 +41,12 @@ EV_MIGRATE_PICK = "migrate_pick"          # policy chose a migration unit
 EV_VOLUME_SWITCH = "volume_switch"        # robot swapped media in a drive
 EV_FAULT_INJECTED = "fault_injected"      # fault-injection harness acted
 
-EVENT_TYPES = {
+#: The canonical built-in taxonomy.  This frozenset is the single source
+#: of truth shared by the runtime check in :meth:`TraceRecorder.emit` and
+#: by the HL004 static-analysis rule (:mod:`repro.analysis`): both treat
+#: an event type as known iff it is here or was passed to
+#: :func:`register_event_type`.
+BASE_EVENT_TYPES: FrozenSet[str] = frozenset({
     EV_SEGMENT_FETCH,
     EV_SEGMENT_WRITEOUT,
     EV_CACHE_EJECT,
@@ -47,13 +54,30 @@ EVENT_TYPES = {
     EV_MIGRATE_PICK,
     EV_VOLUME_SWITCH,
     EV_FAULT_INJECTED,
-}
+})
+
+#: The live taxonomy: the base set plus everything registered at runtime.
+EVENT_TYPES: Set[str] = set(BASE_EVENT_TYPES)
+
+#: Event types are snake_case identifiers so they survive JSON round-trips
+#: and read unambiguously in golden traces.
+_EVENT_TYPE_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 
 
 def register_event_type(etype: str) -> str:
-    """Extend the taxonomy (subsystems added later register here)."""
+    """Extend the taxonomy (subsystems added later register here).
+
+    Idempotent: registering an already-known type (including a base type)
+    is a no-op, so import-time registrations survive module reloads and
+    repeated test setup.
+    """
     if not etype or not isinstance(etype, str):
         raise TraceError(f"event type must be a non-empty string: {etype!r}")
+    if etype in EVENT_TYPES:
+        return etype
+    if not _EVENT_TYPE_RE.match(etype):
+        raise TraceError(
+            f"event type {etype!r} must be a snake_case identifier")
     EVENT_TYPES.add(etype)
     return etype
 

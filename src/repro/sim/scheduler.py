@@ -48,7 +48,8 @@ class Scheduler:
         self._tasks: List[_Task] = []
 
     def add(self, actor: Actor,
-            task: Generator[Any, None, None] | Callable[[], Generator]) -> None:
+            task: Generator[Any, None, None]
+            | Callable[[], Generator[Any, None, None]]) -> None:
         """Register a task.  ``task`` may be a generator or a factory."""
         gen = task() if callable(task) else task
         self._tasks.append(_Task(actor, gen, order=len(self._tasks)))

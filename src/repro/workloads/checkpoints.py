@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import List
 
+from repro.errors import FileExists
 from repro.sim.actor import Actor
 
 
@@ -31,8 +32,8 @@ class CheckpointWorkload:
         rng = random.Random(self.seed + self.next_generation)
         try:
             fs.mkdir(self.directory, actor)
-        except Exception:
-            pass  # already exists
+        except FileExists:
+            pass
         paths = []
         for _ in range(count):
             gen = self.next_generation

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.errors import FileExists
 from repro.sim.actor import Actor
 
 PAGE = 4096
@@ -35,7 +36,7 @@ class DatabaseWorkload:
         if parent and parent != "":
             try:
                 fs.mkdir(parent, actor)
-            except Exception:
+            except FileExists:
                 pass
         inum = fs.create(self.path, actor=actor)
         chunk = 128 * PAGE

@@ -1,0 +1,16 @@
+"""HL002 fixture: raw device I/O outside the choke points (never imported)."""
+
+
+def bad_direct_io(fs, actor, daddr):
+    image = fs.disk.read(actor, daddr, 16)        # finding: raw read
+    fs.disk.write(actor, daddr, image)            # finding: raw write
+    device = fs.disk
+    device.read(actor, daddr, 1)                  # finding: raw read
+    return image
+
+
+def good_routed_io(fs, actor, daddr):
+    data = fs.dev_read(actor, daddr, 16)          # ok: block-map choke point
+    fh = open("/dev/null", "rb")
+    fh.read(1)                                    # ok: not a device receiver
+    return data

@@ -1,0 +1,23 @@
+"""HL003 fixture: ad-hoc disk/tertiary address arithmetic (never imported)."""
+
+
+def bad_geometry(blocks_per_seg):
+    total_segs = (1 << 32) // blocks_per_seg      # finding: geometry by hand
+    return total_segs
+
+
+def bad_mixed_arith(line_base, tsegno, blocks_per_seg):
+    delta = line_base - tsegno * blocks_per_seg   # finding: domains mixed
+    return delta
+
+
+def bad_cross_assign(tsegno, blocks_per_seg):
+    disk_daddr = tsegno * blocks_per_seg + 1      # finding: tert -> disk
+    return disk_daddr
+
+
+def good(aspace, tsegno):
+    base = aspace.seg_base(tsegno)                # ok: AddressSpace helper
+    vol, seg_in_vol = aspace.volume_of(tsegno)    # ok
+    lbn = (5 - 3) & 0xFFFFFFFF                    # ok: mask, not geometry
+    return base, vol, seg_in_vol, lbn

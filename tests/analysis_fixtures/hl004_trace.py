@@ -1,0 +1,22 @@
+"""HL004 fixture: unregistered trace event types (never imported)."""
+
+from repro import obs
+from repro.obs.trace import register_event_type
+
+EV_CUSTOM_THING = register_event_type("custom_thing")
+EV_ORPHAN = "orphan_event"  # assigned but never registered
+
+
+def bad_events(recorder, t):
+    obs.event("segment_fetchh", t)                # finding: typo
+    recorder.emit("totally_unknown", t, x=1)      # finding: unregistered
+    obs.event(EV_ORPHAN, t)                       # finding: unregistered
+    obs.event(obs.EV_NO_SUCH_CONST, t)            # finding: undefined EV_*
+
+
+def good_events(recorder, t, dynamic_type):
+    obs.event(obs.EV_SEGMENT_FETCH, t, tsegno=1)  # ok: base taxonomy
+    obs.event("segment_fetch", t)                 # ok: base, as a literal
+    recorder.emit(EV_CUSTOM_THING, t)             # ok: registered above
+    obs.event("custom_thing", t)                  # ok: registered above
+    recorder.emit(dynamic_type, t)                # ok: dynamic, skipped

@@ -1,0 +1,18 @@
+"""HL005 fixture: unbounded metric label sets (never imported)."""
+
+from repro import obs
+
+
+def bad_labels(names, values):
+    obs.counter("bad_dynamic_names_total", "x",
+                labelnames=tuple(names))                   # finding: computed
+    obs.histogram("bad_positional", "x", names)            # finding: computed
+    fam = obs.counter("star_total", "x", ("device", "op"))
+    fam.labels(**values).inc()                             # finding: **kwargs
+    fam.labels("rz57", "read").inc()                       # finding: positional
+
+
+def good_labels(device_name):
+    fam = obs.counter("good_total", "x", labelnames=("device", "op"))
+    fam.labels(device=device_name, op="read").inc()        # ok: dynamic values
+    obs.gauge("plain_gauge", "x").set(1.0)                 # ok: no labels

@@ -1,0 +1,13 @@
+"""Suppression fixture: every violation here carries a noqa (never imported)."""
+
+import time
+
+
+def suppressed():
+    a = time.time()  # noqa: HL001
+    b = time.monotonic()  # noqa
+    return a, b
+
+
+def still_flagged():
+    return time.perf_counter()  # noqa: HL006 (wrong code: HL001 still fires)

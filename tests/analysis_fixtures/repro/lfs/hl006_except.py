@@ -1,0 +1,44 @@
+"""HL006 fixture: blind exception handling in the core (never imported).
+
+Lives under a ``repro/lfs/`` fixture path so it scopes as
+``repro.lfs.hl006_except`` and the rule's default scope applies.
+"""
+
+from repro.errors import FileNotFound
+
+
+def bad_bare(fs, inum):
+    try:
+        return fs.get_inode(inum)
+    except:                              # finding: bare except
+        return None
+
+
+def bad_blind(fs, inum):
+    try:
+        return fs.get_inode(inum)
+    except Exception:                    # finding: swallowed blindly
+        return None
+
+
+def good_narrow(fs, inum):
+    try:
+        return fs.get_inode(inum)
+    except FileNotFound:                 # ok: names the expected failure
+        return None
+
+
+def good_logged(fs, report, inum):
+    try:
+        return fs.get_inode(inum)
+    except Exception as exc:             # ok: inspects the error
+        report.error(f"inode {inum}: {exc}")
+        return None
+
+
+def good_reraise(fs, inum):
+    try:
+        return fs.get_inode(inum)
+    except Exception:                    # ok: re-raises
+        fs.invalidate(inum)
+        raise

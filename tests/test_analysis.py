@@ -1,0 +1,222 @@
+"""Tests for the repro.analysis static-analysis suite.
+
+Each HL rule has a dedicated fixture file under ``tests/analysis_fixtures/``
+containing known violations (and near-misses that must stay clean).  The
+tests here pin the exact set of (line, code) findings per fixture, exercise
+``# noqa`` suppression semantics, and check the CLI's text/JSON contracts.
+The fixtures are analyzed as source, never imported.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, Finding, run_paths
+from repro.analysis.core import AnalysisError, SourceFile, dotted_name
+from repro.analysis.rules import ALL_RULES, default_rules
+from repro.analysis.rules.hl001_clock_purity import HL001ClockPurity
+from repro.analysis.rules.hl002_device_io import HL002DeviceIO
+from repro.analysis.rules.hl003_address_domain import HL003AddressDomain
+from repro.analysis.rules.hl004_trace_events import HL004TraceEvents
+from repro.analysis.rules.hl005_metric_labels import HL005MetricLabels
+from repro.analysis.rules.hl006_exceptions import HL006ExceptionDiscipline
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def analyze(fixture, rules):
+    """Run `rules` over one fixture file; return the AnalysisResult."""
+    return run_paths([FIXTURES / fixture], rules=rules)
+
+
+def lines_of(result, code):
+    return sorted(f.line for f in result.findings if f.code == code)
+
+
+# ---------------------------------------------------------------------------
+# Per-rule fixtures: each rule must fire on its fixture's bad lines and
+# stay silent on the good ones.
+# ---------------------------------------------------------------------------
+
+class TestRuleFixtures:
+    def test_hl001_clock_purity(self):
+        result = analyze("hl001_clock.py", [HL001ClockPurity()])
+        assert lines_of(result, "HL001") == [5, 9, 10, 11, 12, 17, 18, 19]
+        # The seeded-RNG / virtual-clock section stays clean.
+        assert all(f.line < 23 for f in result.findings)
+
+    def test_hl002_device_io(self):
+        result = analyze("hl002_device.py", [HL002DeviceIO()])
+        assert lines_of(result, "HL002") == [5, 6, 8]
+
+    def test_hl002_exempt_module_is_silent(self):
+        # The same violations are legal inside an exempted module.
+        rule = HL002DeviceIO(exempt=("hl002_device",))
+        result = analyze("hl002_device.py", [rule])
+        assert result.findings == []
+
+    def test_hl003_address_domain(self):
+        result = analyze("hl003_address.py", [HL003AddressDomain()])
+        assert lines_of(result, "HL003") == [5, 10, 15]
+
+    def test_hl004_trace_events(self):
+        result = analyze("hl004_trace.py", [HL004TraceEvents()])
+        assert lines_of(result, "HL004") == [11, 12, 13, 14]
+        messages = [f.message for f in result.findings]
+        assert any("segment_fetchh" in m for m in messages)
+        assert any("EV_NO_SUCH_CONST" in m for m in messages)
+
+    def test_hl005_metric_labels(self):
+        result = analyze("hl005_labels.py", [HL005MetricLabels()])
+        assert lines_of(result, "HL005") == [7, 9, 11, 12]
+
+    def test_hl006_exception_discipline(self):
+        result = analyze("repro/lfs/hl006_except.py",
+                         [HL006ExceptionDiscipline()])
+        assert lines_of(result, "HL006") == [13, 20]
+
+    def test_hl006_scope_excludes_other_packages(self):
+        # The identical handlers outside repro.lfs / repro.core are
+        # out of scope: the bare-except fixture re-read with a scope
+        # that does not match produces nothing.
+        rule = HL006ExceptionDiscipline(scope=("repro.workloads",))
+        result = analyze("repro/lfs/hl006_except.py", [rule])
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Suppression (# noqa) semantics
+# ---------------------------------------------------------------------------
+
+class TestNoqa:
+    def test_noqa_suppresses_matching_code(self):
+        result = analyze("hl_noqa.py", [HL001ClockPurity()])
+        # Lines 7 (noqa: HL001) and 8 (blanket noqa) are suppressed;
+        # line 13 carries a noqa for the *wrong* code and still fires.
+        assert lines_of(result, "HL001") == [13]
+        assert sorted(f.line for f in result.suppressed) == [7, 8]
+
+    def test_suppressed_findings_keep_their_identity(self):
+        result = analyze("hl_noqa.py", [HL001ClockPurity()])
+        assert all(f.code == "HL001" for f in result.suppressed)
+        assert result.ok is False  # line 13 still counts
+
+
+# ---------------------------------------------------------------------------
+# Framework behavior
+# ---------------------------------------------------------------------------
+
+class TestFramework:
+    def test_all_rules_have_distinct_codes_and_docs(self):
+        codes = [r.code for r in ALL_RULES]
+        assert len(set(codes)) == len(codes) == 6
+        for rule_cls in ALL_RULES:
+            assert rule_cls.code.startswith("HL")
+            assert rule_cls.name
+            assert rule_cls.rationale
+
+    def test_default_rules_instantiates_every_rule(self):
+        rules = default_rules()
+        assert sorted(r.code for r in rules) == \
+            sorted(r.code for r in ALL_RULES)
+
+    def test_dotted_name_roots_at_repro(self):
+        assert dotted_name(Path("src/repro/lfs/segwriter.py")) == \
+            "repro.lfs.segwriter"
+        assert dotted_name(
+            Path("tests/analysis_fixtures/repro/lfs/hl006_except.py")) == \
+            "repro.lfs.hl006_except"
+        assert dotted_name(Path("scripts/tool.py")) == "tool"
+
+    def test_syntax_errors_are_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        result = run_paths([bad], rules=default_rules())
+        assert result.errors and "broken.py" in result.errors[0]
+        assert result.ok is False
+
+    def test_duplicate_rule_codes_rejected(self):
+        with pytest.raises(AnalysisError):
+            Analyzer(rules=[HL001ClockPurity(), HL001ClockPurity()])
+
+    def test_finding_format_is_grep_friendly(self):
+        f = Finding(path="src/x.py", line=3, col=4, code="HL001",
+                    message="msg")
+        assert f.format() == "src/x.py:3:4: HL001 msg"
+
+    def test_collects_directories_recursively(self):
+        files = Analyzer.collect_files([FIXTURES])
+        names = {p.name for p in files}
+        assert "hl006_except.py" in names  # nested under repro/lfs/
+        result = run_paths([FIXTURES], rules=default_rules())
+        assert result.files_analyzed == len(files)
+
+
+# ---------------------------------------------------------------------------
+# CLI contract
+# ---------------------------------------------------------------------------
+
+def run_cli(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        capture_output=True, text=True,
+        cwd=Path(__file__).parent.parent,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestCLI:
+    def test_json_format(self):
+        proc = run_cli(str(FIXTURES / "hl002_device.py"), "--format", "json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is False
+        assert payload["counts"] == {"HL002": 3}
+        first = payload["findings"][0]
+        assert set(first) >= {"path", "line", "col", "code", "message"}
+        assert first["code"] == "HL002"
+
+    def test_clean_run_exits_zero(self):
+        proc = run_cli(str(FIXTURES / "repro" / "lfs" / "hl006_except.py"),
+                       "--select", "HL001")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout
+
+    def test_select_limits_rules(self):
+        proc = run_cli(str(FIXTURES), "--select", "HL003")
+        assert proc.returncode == 1
+        assert "HL003" in proc.stdout
+        assert "HL001" not in proc.stdout
+
+    def test_unknown_code_is_usage_error(self):
+        proc = run_cli("src", "--select", "HL999")
+        assert proc.returncode == 2
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_cls in ALL_RULES:
+            assert rule_cls.code in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# SourceFile plumbing used by every rule
+# ---------------------------------------------------------------------------
+
+class TestSourceFile:
+    def test_noqa_table_parses_codes(self, tmp_path):
+        p = tmp_path / "m.py"
+        text = "x = 1  # noqa: HL001, HL002\ny = 2  # noqa\nz = 3\n"
+        p.write_text(text)
+        sf = SourceFile(p, str(p), text)
+        f1 = Finding(path=str(p), line=1, col=0, code="HL001", message="m")
+        f2 = Finding(path=str(p), line=1, col=0, code="HL003", message="m")
+        f3 = Finding(path=str(p), line=2, col=0, code="HL006", message="m")
+        f4 = Finding(path=str(p), line=3, col=0, code="HL001", message="m")
+        assert sf.suppresses(f1)
+        assert not sf.suppresses(f2)  # code not listed
+        assert sf.suppresses(f3)      # blanket noqa
+        assert not sf.suppresses(f4)  # no comment

@@ -1,0 +1,38 @@
+"""The production tree must satisfy its own invariants.
+
+This is the tier-1 gate behind ``python -m repro.analysis src``: every
+HL rule runs over ``src/repro`` and must produce zero findings.  Any new
+violation either gets fixed or earns an explicit ``# noqa: HL0xx`` with
+justification — and suppressions are budgeted, not free: the count here
+is pinned so silent accretion shows up in review.
+"""
+
+from pathlib import Path
+
+from repro.analysis import run_paths
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def test_src_tree_is_clean():
+    result = run_paths([SRC])
+    rendered = "\n".join(f.format() for f in result.findings)
+    assert result.errors == [], result.errors
+    assert result.findings == [], f"analysis findings:\n{rendered}"
+
+
+def test_suppression_budget():
+    result = run_paths([SRC])
+    # Table-5 raw-device benchmark is the only sanctioned suppression
+    # site (bench/ measures the bare device on purpose).
+    assert len(result.suppressed) == 3
+    assert all("bench" in f.path for f in result.suppressed)
+    assert all(f.code == "HL002" for f in result.suppressed)
+
+
+def test_no_suppressions_in_core_or_lfs():
+    result = run_paths([SRC])
+    for f in result.suppressed:
+        path = Path(f.path)
+        assert "core" not in path.parts and "lfs" not in path.parts, \
+            f"suppression in protected package: {f.format()}"

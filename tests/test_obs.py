@@ -223,6 +223,22 @@ class TestTrace:
         finally:
             EVENT_TYPES.discard(name)
 
+    def test_register_event_type_is_idempotent(self):
+        name = register_event_type("test_idem_event")
+        try:
+            assert register_event_type("test_idem_event") == name
+            # Re-registering a base type is a no-op, not an error.
+            assert register_event_type("segment_fetch") == "segment_fetch"
+            assert obs.BASE_EVENT_TYPES <= EVENT_TYPES
+        finally:
+            EVENT_TYPES.discard(name)
+
+    def test_register_event_type_validates_names(self):
+        with pytest.raises(TraceError):
+            register_event_type("Not-Snake-Case")
+        with pytest.raises(TraceError):
+            register_event_type("")
+
     def test_disabled_returns_none_and_records_nothing(self):
         tr = TraceRecorder(enabled=False)
         assert tr.emit(obs.EV_CLEAN_PASS, 0.0) is None
