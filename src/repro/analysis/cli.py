@@ -40,7 +40,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="HighLight domain-specific static analysis "
-                    "(invariants HL001-HL006; see docs/ANALYSIS.md)")
+                    "(invariants HL001-HL007; see docs/ANALYSIS.md)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to analyze "
                              "(default: src)")

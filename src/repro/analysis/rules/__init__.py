@@ -14,6 +14,7 @@ from repro.analysis.rules.hl003_address_domain import HL003AddressDomain
 from repro.analysis.rules.hl004_trace_events import HL004TraceEvents
 from repro.analysis.rules.hl005_metric_labels import HL005MetricLabels
 from repro.analysis.rules.hl006_exceptions import HL006ExceptionDiscipline
+from repro.analysis.rules.hl007_sched_submission import HL007SchedSubmission
 
 ALL_RULES = (
     HL001ClockPurity,
@@ -22,6 +23,7 @@ ALL_RULES = (
     HL004TraceEvents,
     HL005MetricLabels,
     HL006ExceptionDiscipline,
+    HL007SchedSubmission,
 )
 
 __all__ = ["ALL_RULES", "default_rules"] + [cls.__name__ for cls in ALL_RULES]

@@ -1,8 +1,9 @@
 """Regenerate every paper table and figure from the command line.
 
 Usage:
-    python3 -m repro.bench              # everything
-    python3 -m repro.bench table2 fig4  # a selection
+    python3 -m repro.bench                        # everything
+    python3 -m repro.bench table2 fig4            # a selection
+    python3 -m repro.bench --scenario contention  # mixed-load scenarios
 """
 
 from __future__ import annotations
@@ -10,7 +11,7 @@ from __future__ import annotations
 import sys
 
 from repro import obs
-from repro.bench import figures, harness, tables
+from repro.bench import figures, harness, scenarios, tables
 
 RUNNERS = {
     "table1": tables.run_table1,
@@ -28,13 +29,37 @@ RUNNERS = {
 
 
 def main(argv: list[str]) -> int:
-    names = argv or list(RUNNERS)
+    args = list(argv)
+    scenario_names: list[str] = []
+    while "--scenario" in args:
+        idx = args.index("--scenario")
+        try:
+            scenario_names.append(args[idx + 1])
+        except IndexError:
+            print("--scenario needs a name; "
+                  f"available: {', '.join(scenarios.SCENARIOS)}")
+            return 2
+        del args[idx:idx + 2]
+    unknown = [n for n in scenario_names if n not in scenarios.SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}")
+        print(f"available: {', '.join(scenarios.SCENARIOS)}")
+        return 2
+
+    names = args or (list(RUNNERS) if not scenario_names else [])
     unknown = [n for n in names if n not in RUNNERS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}")
         print(f"available: {', '.join(RUNNERS)}")
         return 2
     failures = 0
+    for name in scenario_names:
+        obs.reset()
+        _data, report = scenarios.SCENARIOS[name]()
+        snap_path = harness.dump_observability(f"scenario_{name}")
+        print(report)
+        print(f"  observability snapshot: {snap_path}")
+        print()
     for name in names:
         obs.reset()
         result = RUNNERS[name]()

@@ -53,6 +53,24 @@ class HighLightConfig(LFSConfig):
     #: with a concatenated second spindle this steers staging onto a
     #: separate disk arm (Table 6's RZ58/HP7958A configurations).
     cache_prefer_high: bool = False
+    #: Tertiary request scheduler mode: "passthrough" executes every
+    #: submission inline in FIFO order (the paper's single-FIFO service
+    #: process, byte-identical to the pre-scheduler pipeline);
+    #: "scheduled" queues background classes for volume-batched dispatch
+    #: (see docs/SCHEDULING.md).
+    sched_mode: str = "passthrough"
+    #: Queue age (virtual seconds) past which a starved background
+    #: request is promoted ahead of batching and priority.
+    sched_aging_threshold: float = 300.0
+    #: Consecutive same-volume dispatches before the scheduler's
+    #: elevator must consider other volumes.
+    sched_batch_residency: int = 8
+    #: Per-class queue-depth limits (admission control): prefetches and
+    #: cleaner reads beyond the limit are rejected; write-outs beyond it
+    #: force-drain the oldest pending write-out.
+    sched_prefetch_queue_limit: int = 16
+    sched_writeout_queue_limit: int = 8
+    sched_cleaner_queue_limit: int = 32
 
 
 class HighLightFS(LFS):
@@ -72,6 +90,7 @@ class HighLightFS(LFS):
         self.cache: Optional[SegmentCache] = None
         self.driver: Optional[BlockMapDriver] = None
         self.ioserver: Optional[IOServer] = None
+        self.sched = None             # TertiaryScheduler, set on attach
         self.service: Optional[ServiceProcess] = None
         self.migrator = None          # set by Migrator.__init__
         self.range_tracker = None     # optional AccessRangeTracker
@@ -161,7 +180,21 @@ class HighLightFS(LFS):
         self.ioserver = IOServer(self.aspace, self.tsegfile, self.disk,
                                  footprint,
                                  io_chunk_blocks=config.io_chunk_blocks)
-        self.service = ServiceProcess(self, self.ioserver, self.cache)
+        # Local import: repro.sched pulls category constants from this
+        # package, so the dependency must stay one-way at import time.
+        from repro.sched import (CLASS_CLEANER, CLASS_PREFETCH,
+                                 CLASS_WRITEOUT, TertiaryScheduler)
+        self.sched = TertiaryScheduler(
+            self, self.ioserver, mode=config.sched_mode,
+            aging_threshold=config.sched_aging_threshold,
+            max_batch_residency=config.sched_batch_residency,
+            queue_limits={
+                CLASS_PREFETCH: config.sched_prefetch_queue_limit,
+                CLASS_WRITEOUT: config.sched_writeout_queue_limit,
+                CLASS_CLEANER: config.sched_cleaner_queue_limit,
+            })
+        self.service = ServiceProcess(self, self.ioserver, self.cache,
+                                      sched=self.sched)
         self.driver.service = self.service
 
     @property

@@ -13,6 +13,12 @@ fresh staging lines, every chunk pays arm repositioning — Table 6's
 
 All phase durations are recorded in a :class:`~repro.sim.TimeAccount`
 using the paper's Table 4 categories.
+
+This class is the *back end*: producers never call it directly.  All
+submissions arrive through the :class:`~repro.sched.TertiaryScheduler`
+facade, which adds request classes, mount batching, and admission
+control in front of these raw segment copies (rule HL007 enforces the
+choke point statically).
 """
 
 from __future__ import annotations

@@ -100,14 +100,16 @@ class Migrator:
         self._unit_tag: object = None
         #: How finished staging segments reach tertiary storage; the
         #: pipeline replaces this with a queue put.
-        self.writeout = self._sync_writeout
+        self.writeout = self._submit_writeout
         if fs.service is not None:
             fs.service.restage_handler = self.restage_line
 
     # -- staging-segment lifecycle ---------------------------------------------------
 
-    def _sync_writeout(self, actor: Actor, tsegno: int) -> None:
-        self.fs.service.writeout_line(actor, tsegno)
+    def _submit_writeout(self, actor: Actor, tsegno: int) -> None:
+        # Background-class scheduler submission: synchronous in the
+        # default pass-through mode, volume-batched when scheduled.
+        self.fs.sched.submit_writeout(actor, tsegno)
 
     def _open_builder(self, actor: Actor) -> StagingBuilder:
         vol, seg_in_vol = self.fs.tsegfile.alloc_segment()
@@ -414,7 +416,7 @@ class MigrationPipeline:
         scheduler.add(self.migrator_actor, self._migrator_task())
         scheduler.add(self.ioserver_actor, self._ioserver_task())
         scheduler.run()
-        self.migrator.writeout = self.migrator._sync_writeout
+        self.migrator.writeout = self.migrator._submit_writeout
 
     def _migrator_task(self):
         actor = self.migrator_actor

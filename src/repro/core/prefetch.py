@@ -10,6 +10,12 @@ observations of recent accesses."
 * :class:`UnitPrefetch` — hint-based: on a miss, fetch the remaining
   segments of the migration unit the missed segment belongs to (the
   natural prefetch for namespace-locality units, §5.3).
+
+Policies only *suggest* segments; the service process submits each
+suggestion to the :class:`~repro.sched.TertiaryScheduler` as a
+background-class request, so prefetch I/O never executes inline on the
+faulting application's time (and, in scheduled mode, waits its turn
+behind demand fetches in the volume batch).
 """
 
 from __future__ import annotations

@@ -12,6 +12,11 @@ excursion.  Segment write-outs are asynchronous in the paper ("the request
 is serviced asynchronously"); the pipelined form lives in
 :class:`~repro.core.migrator.MigrationPipeline`, while this class offers
 the synchronous building blocks both modes share.
+
+All tertiary I/O is issued through the
+:class:`~repro.sched.TertiaryScheduler` facade (rule HL007): demand
+fetches at top priority, prefetches and write-outs as background
+classes the scheduler may batch per volume.
 """
 
 from __future__ import annotations
@@ -25,11 +30,11 @@ from repro.sim.actor import Actor
 
 
 class ServiceProcess:
-    """Coordinates the segment cache, the I/O server, and Footprint."""
+    """Coordinates the segment cache, the scheduler, and the I/O server."""
 
     def __init__(self, fs, ioserver, cache,
                  request_overhead: float = 0.04,
-                 prefetcher=None) -> None:
+                 prefetcher=None, sched=None) -> None:
         self.fs = fs
         self.ioserver = ioserver
         self.cache = cache
@@ -39,8 +44,17 @@ class ServiceProcess:
         self.prefetcher = prefetcher
         #: Installed by the Migrator: re-stages a line after EndOfMedium.
         self.restage_handler: Optional[Callable[[Actor, int], int]] = None
-        #: Actor that pays for prefetch I/O (it runs alongside the app).
-        self.prefetch_actor = Actor("prefetcher")
+        if sched is None:
+            # Standalone construction (tests): a pass-through scheduler
+            # preserves the historical synchronous pipeline exactly.
+            from repro.sched import TertiaryScheduler
+            sched = TertiaryScheduler(fs, ioserver)
+        self.sched = sched
+
+    @property
+    def prefetch_actor(self) -> Actor:
+        """The actor that pays for pass-through prefetch I/O."""
+        return self.sched.prefetch_actor
 
     # -- demand fetch ------------------------------------------------------------
 
@@ -56,7 +70,7 @@ class ServiceProcess:
         actor.sleep(self.request_overhead)
         self.ioserver.account.charge(CAT_QUEUING, self.request_overhead)
         disk_segno = self.cache.acquire_line(actor)
-        self.ioserver.fetch(actor, tsegno, disk_segno)
+        self.sched.fetch(actor, tsegno, disk_segno)
         self.cache.register(tsegno, disk_segno, actor)
         self.fs.stats.demand_fetches += 1
         obs.counter("service_demand_fetches_total",
@@ -64,26 +78,21 @@ class ServiceProcess:
         return disk_segno
 
     def after_miss(self, actor: Actor, tsegno: int) -> None:
-        """Post-fault hook: start prefetching once the faulting read has
+        """Post-fault hook: submit prefetches once the faulting read has
         its data, so prefetch I/O never sits between the application and
-        the block it faulted on."""
-        if self.prefetcher is not None:
-            self._run_prefetch(actor, tsegno)
+        the block it faulted on.
 
-    def _run_prefetch(self, actor: Actor, tsegno: int) -> None:
-        # Prefetches run on their own actor: they occupy real device time
-        # (and can thus delay the application's next miss) but do not
-        # block the current fault.
-        self.prefetch_actor.sleep_until(actor.time)
+        Prefetches are background-class scheduler requests: in
+        pass-through mode they run immediately on the prefetch actor
+        (occupying real device time without blocking the current fault);
+        in scheduled mode they queue for volume-batched dispatch and
+        never charge the demand path at all.
+        """
+        if self.prefetcher is None:
+            return
         for extra in self.prefetcher.after_fetch(self.fs, tsegno):
-            if self.cache.contains(extra):
-                continue
-            try:
-                line = self.cache.acquire_line(self.prefetch_actor)
-            except MigrationError:
+            if not self.sched.submit_prefetch(actor, extra):
                 break
-            self.ioserver.fetch(self.prefetch_actor, extra, line)
-            self.cache.register(extra, line, self.prefetch_actor)
 
     # -- write-out ---------------------------------------------------------------
 
@@ -101,7 +110,7 @@ class ServiceProcess:
         actor.sleep(self.request_overhead)
         self.ioserver.account.charge(CAT_QUEUING, self.request_overhead)
         try:
-            yield from self.ioserver.writeout_steps(actor, disk_segno, tsegno)
+            yield from self.sched.writeout_steps(actor, disk_segno, tsegno)
         except EndOfMedium:
             self._handle_end_of_medium(actor, tsegno)
             return
@@ -121,7 +130,11 @@ class ServiceProcess:
             raise MigrationError(
                 f"volume {vol_id} hit end-of-medium and no migrator is "
                 "available to restage the segment")
+        # Restaging is requeue work: charge it to the queuing category so
+        # the write-out's elapsed time still partitions into Table 4.
+        t0 = actor.time
         new_tsegno = self.restage_handler(actor, tsegno)
+        self.ioserver.account.charge(CAT_QUEUING, actor.time - t0)
         self.writeout_line(actor, new_tsegno)
 
     # -- ejection ----------------------------------------------------------------

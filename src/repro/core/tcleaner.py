@@ -117,7 +117,9 @@ class TertiaryCleaner:
                               fs.aspace.seg_base(disk_segno),
                               fs.config.blocks_per_seg, fs.aspace)
         else:
-            image = fs.ioserver.read_segment_image(self.actor, tsegno)
+            # Cleaner-class scheduler facade: the lowest-priority
+            # request class, charged to footprint_read.
+            image = fs.sched.read_segment(self.actor, tsegno)
         summary = SegmentSummary.try_unpack(image[:BLOCK_SIZE],
                                             fs.config.summary_size)
         if summary is None:

@@ -54,7 +54,7 @@ class DelayedWriteout:
         self._pending.append(tsegno)
         while len(self._pending) > self.max_pending:
             oldest = self._pending.popleft()
-            self.fs.service.writeout_line(actor, oldest)
+            self.fs.sched.submit_writeout(actor, oldest, immediate=True)
             self.forced_writeouts += 1
 
     def drain(self, actor: Actor, limit: Optional[int] = None) -> int:
@@ -62,7 +62,7 @@ class DelayedWriteout:
         count = 0
         while self._pending and (limit is None or count < limit):
             tsegno = self._pending.popleft()
-            self.fs.service.writeout_line(actor, tsegno)
+            self.fs.sched.submit_writeout(actor, tsegno, immediate=True)
             self.idle_writeouts += 1
             count += 1
         return count

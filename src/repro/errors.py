@@ -115,3 +115,22 @@ class StagingFull(MigrationError):
 
 class TertiaryExhausted(MigrationError):
     """All tertiary volumes are full and no cleaner has reclaimed space."""
+
+
+# --------------------------------------------------------------------------
+# Tertiary request scheduler
+# --------------------------------------------------------------------------
+
+class SchedulerError(ReproError):
+    """Base class for tertiary request-scheduler faults."""
+
+
+class AccountingViolation(SchedulerError):
+    """A scheduled request's wait + service time failed to land in the
+    Table 4 categories.
+
+    The scheduler charges queue wait to ``queuing`` and requires the
+    request's execution to charge every remaining virtual second to
+    exactly one category, so Table 4's partition invariant holds on the
+    scheduled path too.
+    """

@@ -1,0 +1,21 @@
+"""HL007 fixture: tertiary I/O around the scheduler (never imported)."""
+
+
+def bad_direct_submissions(fs, actor, tsegno, line):
+    fs.ioserver.fetch(actor, tsegno, line)             # finding: demand path
+    fs.ioserver.writeout(actor, line, tsegno)          # finding: write-out
+    steps = fs.ioserver.writeout_steps(actor, line, tsegno)   # finding
+    image = fs.ioserver.read_segment_image(actor, tsegno)     # finding
+    ioserver = fs.ioserver
+    ioserver.fetch(actor, tsegno, line)                # finding: aliased
+    return steps, image
+
+
+def good_scheduled_submissions(fs, actor, tsegno, line):
+    fs.sched.fetch(actor, tsegno, line)                # ok: the facade
+    fs.sched.submit_writeout(actor, tsegno)            # ok: the facade
+    fs.sched.submit_prefetch(actor, tsegno)            # ok: the facade
+    total = fs.ioserver.account.total()                # ok: attribute read
+    log = fs.ioserver.writeout_log                     # ok: not a call
+    fs.ioserver.footprint.mark_full("v1")              # ok: not a submission
+    return total, log

@@ -23,6 +23,7 @@ from repro.analysis.rules.hl003_address_domain import HL003AddressDomain
 from repro.analysis.rules.hl004_trace_events import HL004TraceEvents
 from repro.analysis.rules.hl005_metric_labels import HL005MetricLabels
 from repro.analysis.rules.hl006_exceptions import HL006ExceptionDiscipline
+from repro.analysis.rules.hl007_sched_submission import HL007SchedSubmission
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 
@@ -86,6 +87,18 @@ class TestRuleFixtures:
         result = analyze("repro/lfs/hl006_except.py", [rule])
         assert result.findings == []
 
+    def test_hl007_sched_submission(self):
+        result = analyze("hl007_sched.py", [HL007SchedSubmission()])
+        assert lines_of(result, "HL007") == [5, 6, 7, 8, 10]
+        # The facade calls and plain attribute reads stay clean.
+        assert all(f.line <= 10 for f in result.findings)
+
+    def test_hl007_exempt_inside_scheduler_package(self):
+        # The scheduler package itself is the sanctioned caller.
+        rule = HL007SchedSubmission(exempt=("hl007_sched",))
+        result = analyze("hl007_sched.py", [rule])
+        assert result.findings == []
+
 
 # ---------------------------------------------------------------------------
 # Suppression (# noqa) semantics
@@ -112,7 +125,7 @@ class TestNoqa:
 class TestFramework:
     def test_all_rules_have_distinct_codes_and_docs(self):
         codes = [r.code for r in ALL_RULES]
-        assert len(set(codes)) == len(codes) == 6
+        assert len(set(codes)) == len(codes) == 7
         for rule_cls in ALL_RULES:
             assert rule_cls.code.startswith("HL")
             assert rule_cls.name

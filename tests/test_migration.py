@@ -229,7 +229,7 @@ class TestPipeline:
         hl.fs.checkpoint()
         pipeline = MigrationPipeline(hl.fs, hl.migrator, ["/p"])
         pipeline.run()
-        assert hl.migrator.writeout == hl.migrator._sync_writeout
+        assert hl.migrator.writeout == hl.migrator._submit_writeout
 
 
 class TestServiceProcess:

@@ -429,3 +429,40 @@ class TestTable4Accounting:
         # Non-overlap: each bucket individually stays within the total.
         for category, seconds in breakdown.items():
             assert 0.0 <= seconds <= account.total() + 1e-12
+
+    def test_scheduled_dispatches_partition_into_table4(self):
+        """With the request scheduler on, each dispatch's wait+service
+        must partition into the Table 4 categories: the wait is charged
+        to ``queuing``, the back-end service to its own category, and
+        the scheduler's strict per-dispatch check (which would raise
+        ``AccountingViolation``) pins the two sides together."""
+        from repro.core.highlight import HighLightConfig
+        from tests.conftest import HLBed
+
+        bed = HLBed(config=HighLightConfig(sched_mode="scheduled"))
+        fs, app = bed.fs, bed.app
+        account = fs.ioserver.account
+
+        fs.mkdir("/d")
+        fs.write_path("/d/f.bin", b"\xa5" * (2 * MB))
+        fs.checkpoint()
+        app.sleep(3600)
+        account.clear()
+        bed.migrator.migrate_file("/d/f.bin", app, unit_tag="f")
+        bed.migrator.flush(app)
+        app.sleep(120)  # queued write-outs accrue real wait
+        pumped = fs.sched.pump(app)
+
+        assert pumped > 0
+        records = [r for r in fs.sched.dispatch_log if r.rclass ==
+                   "writeout"]
+        assert records
+        for rec in records:
+            assert rec.charged == pytest.approx(rec.wait + rec.service,
+                                                abs=1e-6)
+        assert any(rec.wait > 0 for rec in records)
+        breakdown = account.breakdown()
+        assert set(breakdown) <= set(TABLE4_CATEGORIES)
+        # The account grew by exactly what the dispatches charged.
+        assert account.total() == pytest.approx(
+            sum(rec.charged for rec in fs.sched.dispatch_log), rel=1e-9)
