@@ -15,6 +15,7 @@ from repro.analysis.rules.hl004_trace_events import HL004TraceEvents
 from repro.analysis.rules.hl005_metric_labels import HL005MetricLabels
 from repro.analysis.rules.hl006_exceptions import HL006ExceptionDiscipline
 from repro.analysis.rules.hl007_sched_submission import HL007SchedSubmission
+from repro.analysis.rules.hl008_datapath_copy import HL008DatapathCopy
 
 ALL_RULES = (
     HL001ClockPurity,
@@ -24,6 +25,7 @@ ALL_RULES = (
     HL005MetricLabels,
     HL006ExceptionDiscipline,
     HL007SchedSubmission,
+    HL008DatapathCopy,
 )
 
 __all__ = ["ALL_RULES", "default_rules"] + [cls.__name__ for cls in ALL_RULES]

@@ -4,6 +4,7 @@ Usage:
     python3 -m repro.bench                        # everything
     python3 -m repro.bench table2 fig4            # a selection
     python3 -m repro.bench --scenario contention  # mixed-load scenarios
+    python3 -m repro.bench --perf [--quick]       # wall-clock seg-I/O perf
 """
 
 from __future__ import annotations
@@ -30,6 +31,16 @@ RUNNERS = {
 
 def main(argv: list[str]) -> int:
     args = list(argv)
+    if "--perf" in args:
+        args.remove("--perf")
+        quick = "--quick" in args
+        if quick:
+            args.remove("--quick")
+        if args:
+            print(f"--perf takes no experiments, got: {', '.join(args)}")
+            return 2
+        from repro.bench import perf
+        return perf.main(quick=quick)
     scenario_names: list[str] = []
     while "--scenario" in args:
         idx = args.index("--scenario")

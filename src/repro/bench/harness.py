@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from repro.blockdev import profiles
 from repro.blockdev.bus import SCSIBus
+from repro.blockdev.datapath import set_store_mode
 from repro.blockdev.disk import DiskDevice
 from repro.blockdev.geometry import DiskProfile
 from repro.blockdev.jukebox import Jukebox
@@ -85,6 +86,10 @@ def make_highlight(partition_bytes: int = PARTITION_BYTES,
     and steers cache/staging lines onto it (Table 6's RZ58 / HP7958A
     columns).
     """
+    config = config or HighLightConfig()
+    # The store mode is read at device construction, so it must be
+    # applied before any disk or platter below is built.
+    set_store_mode(config.datapath_mode)
     bus = _fresh_bus()
     disks = [profiles.make_disk(profiles.RZ57, bus=bus,
                                 capacity_bytes=partition_bytes)]
@@ -95,7 +100,6 @@ def make_highlight(partition_bytes: int = PARTITION_BYTES,
         effective_platter_bytes=platter_constraint)
     footprint = JukeboxFootprint(jukebox)
     app = Actor("app")
-    config = config or HighLightConfig()
     if staging_profile is not None:
         # Cache/staging lines live on the second spindle: its segments are
         # the high end of the concatenated address range.

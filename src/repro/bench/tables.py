@@ -367,12 +367,12 @@ def run_table5(transfer_mb: int = 10) -> Tuple[Dict[str, float], TableReport]:
         disk.read(actor, 0, 1)  # noqa: HL002 -- spin-up: position the arm
         t0 = actor.time
         for i in range(transfer_mb):
-            disk.read(actor, i * 256, 256)  # noqa: HL002 -- raw bench
+            disk.read(actor, i * 256, 256)  # noqa: HL002, HL008 -- raw bench
         results[f"{key}_read"] = throughput_kbs(transfer_mb * MB,
                                                 actor.time - t0)
         t0 = actor.time
         for i in range(transfer_mb):
-            disk.write(actor, 100_000 + i * 256, bytes(MB))  # noqa: HL002 -- raw bench
+            disk.write(actor, 100_000 + i * 256, bytes(MB))  # noqa: HL002, HL008 -- raw bench
         results[f"{key}_write"] = throughput_kbs(transfer_mb * MB,
                                                  actor.time - t0)
 
@@ -382,11 +382,11 @@ def run_table5(transfer_mb: int = 10) -> Tuple[Dict[str, float], TableReport]:
     footprint.read(actor, 0, 0, 1)  # load the platter
     t0 = actor.time
     for i in range(transfer_mb):
-        footprint.write(actor, 0, i * 256, bytes(MB))
+        footprint.write(actor, 0, i * 256, bytes(MB))  # noqa: HL008 -- raw bench
     results["mo_write"] = throughput_kbs(transfer_mb * MB, actor.time - t0)
     t0 = actor.time
     for i in range(transfer_mb):
-        footprint.read(actor, 0, i * 256, 256)
+        footprint.read(actor, 0, i * 256, 256)  # noqa: HL008 -- raw bench
     results["mo_read"] = throughput_kbs(transfer_mb * MB, actor.time - t0)
 
     # Volume change: eject -> first sector readable on the next platter.

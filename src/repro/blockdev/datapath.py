@@ -1,0 +1,247 @@
+"""Data-path plumbing: extent refs, copy accounting, and the store mode.
+
+The paper's design argument is that 1 MB segments amortize device costs
+into large sequential transfers; the simulator's *host* data path should
+match.  This module carries the three shared pieces:
+
+* :class:`ExtentRef` — a (buffer, offset, length) handle on a byte range
+  inside a store.  Refs are how whole segment images travel between
+  stores without being copied: a ref adopted by a store is kept by
+  reference, under the contract that nobody mutates the referenced
+  region afterwards (stores themselves never mutate extent buffers in
+  place — writes always *replace* extents).
+* **Copy accounting** — every host-memory byte copy performed by the
+  device data path funnels through :func:`count_copy`, which feeds both
+  a cheap process-local counter (readable with the metrics registry
+  disabled) and the ``datapath_bytes_copied_total`` metric.  The perf
+  harness A/Bs this number across store modes.
+* **The store mode** — ``"extent"`` (the default
+  :class:`~repro.blockdev.extent.ExtentStore`) or ``"blockdict"`` (the
+  historical per-block :class:`~repro.blockdev.base.BlockStore`, kept
+  as the baseline for the A/B in ``python -m repro.bench --perf``).
+  The mode is read at store construction time; it is process-global
+  because devices are built before any filesystem config exists.
+
+Virtual-time charging is untouched by any of this: both modes issue the
+same device operations with the same sizes, so simulated results are
+bit-identical — only host CPU work differs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence, Union
+
+from repro import obs
+
+__all__ = [
+    "Buffer",
+    "ExtentRef",
+    "block_views",
+    "MODE_BLOCKDICT",
+    "MODE_EXTENT",
+    "bytes_copied_total",
+    "count_copy",
+    "materialize_refs",
+    "ref_of",
+    "refs_nbytes",
+    "reset_copy_counter",
+    "set_store_mode",
+    "store_mode",
+    "zeros",
+]
+
+#: Acceptable data-bearing argument types for store writes.
+Buffer = Union[bytes, bytearray, memoryview]
+
+MODE_EXTENT = "extent"
+MODE_BLOCKDICT = "blockdict"
+_MODES = (MODE_EXTENT, MODE_BLOCKDICT)
+
+#: Environment override for the initial store mode (CI experiments).
+MODE_ENV = "REPRO_DATAPATH_MODE"
+
+_mode = os.environ.get(MODE_ENV, MODE_EXTENT)
+if _mode not in _MODES:
+    _mode = MODE_EXTENT
+
+
+def store_mode() -> str:
+    """The store implementation new devices will be built with."""
+    return _mode
+
+
+def set_store_mode(mode: str) -> str:
+    """Select the store implementation; returns the previous mode."""
+    global _mode
+    if mode not in _MODES:
+        raise ValueError(f"unknown datapath mode {mode!r}; "
+                         f"expected one of {_MODES}")
+    old, _mode = _mode, mode
+    return old
+
+
+# -- copy accounting ---------------------------------------------------------
+
+_bytes_copied = 0
+
+
+def count_copy(nbytes: int) -> None:
+    """Account ``nbytes`` of host-memory copying in the data path."""
+    global _bytes_copied
+    _bytes_copied += nbytes
+    obs.counter("datapath_bytes_copied_total",
+                "host bytes physically copied by the device data "
+                "path").inc(nbytes)
+
+
+def bytes_copied_total() -> int:
+    """Process-lifetime copied bytes (independent of the obs registry)."""
+    return _bytes_copied
+
+
+def reset_copy_counter() -> int:
+    """Zero the local copy counter (bench run boundary); returns old value."""
+    global _bytes_copied
+    old, _bytes_copied = _bytes_copied, 0
+    return old
+
+
+# -- extent refs -------------------------------------------------------------
+
+class ExtentRef:
+    """A borrowed byte range: ``buf[start:start + nbytes]``.
+
+    ``buf`` is a :class:`bytes`, :class:`bytearray`, or
+    :class:`memoryview` base object.  A ref handed to
+    ``write_refs``/``line_write_refs`` is *adopted*: the receiving store
+    keeps the reference instead of copying, so the handing-over side
+    must never mutate the range again (append-only staging buffers and
+    immutable ``bytes`` images satisfy this by construction).
+    """
+
+    __slots__ = ("buf", "start", "nbytes")
+
+    def __init__(self, buf: Buffer, start: int, nbytes: int) -> None:
+        self.buf = buf
+        self.start = start
+        self.nbytes = nbytes
+
+    def view(self) -> memoryview:
+        """A zero-copy window on the referenced range."""
+        return memoryview(self.buf)[self.start:self.start + self.nbytes]
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def __repr__(self) -> str:
+        return (f"ExtentRef({type(self.buf).__name__}[{self.start}:"
+                f"{self.start + self.nbytes}])")
+
+
+def ref_of(data: Buffer) -> ExtentRef:
+    """Wrap a whole buffer as one ref."""
+    return ExtentRef(data, 0, len(data))
+
+
+def refs_nbytes(refs: Sequence[ExtentRef]) -> int:
+    """Total bytes covered by a ref list."""
+    return sum(r.nbytes for r in refs)
+
+
+def split_refs(refs: Sequence[ExtentRef], nbytes: int
+               ) -> "tuple[List[ExtentRef], List[ExtentRef]]":
+    """Split a ref list at a byte boundary, zero-copy (refs that straddle
+    the boundary are narrowed, their buffers shared)."""
+    head: List[ExtentRef] = []
+    tail: List[ExtentRef] = []
+    need = nbytes
+    for r in refs:
+        if need <= 0:
+            tail.append(r)
+        elif r.nbytes <= need:
+            head.append(r)
+            need -= r.nbytes
+        else:
+            head.append(ExtentRef(r.buf, r.start, need))
+            tail.append(ExtentRef(r.buf, r.start + need, r.nbytes - need))
+            need = 0
+    return head, tail
+
+
+def block_views(refs: Sequence[ExtentRef], block_size: int) -> List[Buffer]:
+    """Per-block buffers over a ref list, zero-copy.
+
+    A ref holding exactly one whole-``bytes`` block passes through
+    unchanged; larger refs yield memoryview slices.  Only a block that
+    straddles two refs is joined (and counted) — store refs are
+    block-aligned, so in practice nothing is copied.
+    """
+    out: List[Buffer] = []
+    carry: List[memoryview] = []
+    carry_len = 0
+    for ref in refs:
+        off = 0
+        if carry_len:
+            take = min(block_size - carry_len, ref.nbytes)
+            carry.append(ref.view()[:take])
+            carry_len += take
+            off = take
+            if carry_len == block_size:
+                count_copy(block_size)
+                out.append(b"".join(bytes(v) for v in carry))
+                carry, carry_len = [], 0
+        whole = (ref.nbytes - off) // block_size
+        if whole:
+            if (whole == 1 and off == 0 and isinstance(ref.buf, bytes)
+                    and ref.start == 0 and ref.nbytes == block_size):
+                out.append(ref.buf)  # the common adopted-block case
+                off = block_size
+            else:
+                view = ref.view()
+                for _ in range(whole):
+                    out.append(view[off:off + block_size])
+                    off += block_size
+        if off < ref.nbytes:
+            carry.append(ref.view()[off:])
+            carry_len += ref.nbytes - off
+    if carry_len:
+        raise ValueError(
+            f"refs not block-aligned: {carry_len} trailing bytes")
+    return out
+
+
+def materialize_refs(refs: Sequence[ExtentRef]) -> bytes:
+    """Copy a ref list into one contiguous ``bytes`` (counted).
+
+    The single-ref whole-``bytes`` case is free: the ref *is* already an
+    immutable contiguous image, so it is returned as-is.
+    """
+    if len(refs) == 1:
+        ref = refs[0]
+        if (isinstance(ref.buf, bytes) and ref.start == 0
+                and ref.nbytes == len(ref.buf)):
+            return ref.buf
+    total = refs_nbytes(refs)
+    count_copy(total)
+    return b"".join(r.view() for r in refs)
+
+
+# -- shared zero source ------------------------------------------------------
+
+_zero_buf = bytes(0)
+
+
+def zeros(nbytes: int) -> bytes:
+    """A shared all-zeros buffer at least ``nbytes`` long (callers slice
+    or ref into it; sparse reads of unwritten ranges borrow from here
+    instead of allocating per read)."""
+    global _zero_buf
+    if len(_zero_buf) < nbytes:
+        _zero_buf = bytes(max(nbytes, 2 * len(_zero_buf)))
+    return _zero_buf
+
+
+def zero_refs(nbytes: int) -> List[ExtentRef]:
+    """Refs describing ``nbytes`` of zeros (one ref, shared buffer)."""
+    return [ExtentRef(zeros(nbytes), 0, nbytes)]

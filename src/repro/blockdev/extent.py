@@ -1,0 +1,259 @@
+"""ExtentStore: contiguous written ranges as shared-buffer extent runs.
+
+The per-block :class:`~repro.blockdev.base.BlockStore` moves every
+segment through a Python loop — one dict entry per 4 KB block plus a
+``b"".join`` on each read.  The extent store keeps whole written runs as
+``(start, nblocks, buf, off)`` rows over shared buffers, so the common
+segment-sized transfers are O(1) bookkeeping:
+
+* a ``write`` of an immutable ``bytes`` image *adopts* it by reference —
+  sharing an immutable buffer is semantically identical to copying it;
+* ``write_refs`` adopts borrowed ranges (:class:`ExtentRef`) of any
+  buffer under the data-path contract that the handing-over side stops
+  mutating the range — this is how a staging buffer's payload reaches
+  disk, tape, and back without a single host copy;
+* ``read_refs`` hands back borrowed ranges instead of joined bytes, and
+  ``read`` returns the stored ``bytes`` object itself when one extent
+  exactly covers the request.
+
+Extent buffers are **never mutated in place**: every write replaces the
+covered range, and trims/splits only adjust ``(start, off, nblocks)``.
+That makes an adopted buffer a stable snapshot even when shared between
+several stores (disk line, tape volume, and cache can all reference the
+same staging buffer).
+
+Sparse semantics match BlockStore exactly: unwritten blocks read back as
+zeros, ``is_written``/``written_blocks`` count real writes only, and a
+read that crosses an unwritten hole never records the hole as written.
+Fragmented runs are re-coalesced opportunistically: a multi-extent read
+that is *fully* covered stores the joined image back as a single extent,
+so repeated segment reads settle into the zero-copy fast path.
+
+All host-memory copies this store does perform are accounted through
+:func:`repro.blockdev.datapath.count_copy`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence
+
+from repro.blockdev.base import DataStore
+from repro.blockdev.datapath import (Buffer, ExtentRef, count_copy,
+                                     materialize_refs, zeros)
+
+__all__ = ["ExtentStore"]
+
+# Extent rows are mutable 4-lists [start_blk, nblocks, buf, byte_off]:
+# blocks [start, start + nblocks) hold buf[off : off + nblocks * bs].
+_START, _NBLK, _BUF, _OFF = range(4)
+
+
+class ExtentStore(DataStore):
+    """Sparse data store keeping written ranges as extent runs."""
+
+    def __init__(self, capacity_blocks: int, block_size: int) -> None:
+        super().__init__(capacity_blocks, block_size)
+        self._starts: List[int] = []   # sorted extent start blocks
+        self._exts: List[list] = []    # parallel extent rows
+        self._written = 0              # total blocks covered by extents
+
+    # -- internal geometry --------------------------------------------------
+
+    def _span(self, blkno: int, end: int) -> tuple:
+        """Index range [lo, hi) of extents overlapping [blkno, end)."""
+        lo = bisect_right(self._starts, blkno)
+        if lo > 0:
+            row = self._exts[lo - 1]
+            if row[_START] + row[_NBLK] > blkno:
+                lo -= 1
+        hi = lo
+        while hi < len(self._exts) and self._starts[hi] < end:
+            hi += 1
+        return lo, hi
+
+    def _carve(self, blkno: int, end: int) -> int:
+        """Remove coverage of [blkno, end); returns the insertion index
+        where a replacement extent starting at ``blkno`` belongs.
+
+        Remainders of partially-overlapped extents are kept by trimming
+        ``(start, off, nblocks)`` — no buffer bytes move.
+        """
+        lo, hi = self._span(blkno, end)
+        if lo == hi:
+            return lo
+        bs = self.block_size
+        repl = []
+        removed = 0
+        for j in range(lo, hi):
+            s, n, buf, off = self._exts[j]
+            e = s + n
+            removed += min(e, end) - max(s, blkno)
+            if s < blkno:
+                repl.append([s, blkno - s, buf, off])
+            if e > end:
+                repl.append([end, e - end, buf, off + (end - s) * bs])
+        self._exts[lo:hi] = repl
+        self._starts[lo:hi] = [r[_START] for r in repl]
+        self._written -= removed
+        return lo + (1 if repl and repl[0][_START] < blkno else 0)
+
+    def _insert(self, idx: int, start: int, nblocks: int, buf: Buffer,
+                off: int) -> None:
+        """Insert an extent at ``idx``, free-merging with neighbours that
+        continue the same buffer contiguously."""
+        bs = self.block_size
+        self._exts.insert(idx, [start, nblocks, buf, off])
+        self._starts.insert(idx, start)
+        self._written += nblocks
+        nxt = idx + 1
+        if nxt < len(self._exts):
+            a, b = self._exts[idx], self._exts[nxt]
+            if (a[_START] + a[_NBLK] == b[_START] and a[_BUF] is b[_BUF]
+                    and a[_OFF] + a[_NBLK] * bs == b[_OFF]):
+                a[_NBLK] += b[_NBLK]
+                del self._exts[nxt]
+                del self._starts[nxt]
+        if idx > 0:
+            p, a = self._exts[idx - 1], self._exts[idx]
+            if (p[_START] + p[_NBLK] == a[_START] and p[_BUF] is a[_BUF]
+                    and p[_OFF] + p[_NBLK] * bs == a[_OFF]):
+                p[_NBLK] += a[_NBLK]
+                del self._exts[idx]
+                del self._starts[idx]
+
+    def _place(self, blkno: int, nblocks: int, buf: Buffer,
+               off: int) -> None:
+        idx = self._carve(blkno, blkno + nblocks)
+        self._insert(idx, blkno, nblocks, buf, off)
+
+    # -- scalar API (BlockStore-compatible) ---------------------------------
+
+    def read(self, blkno: int, nblocks: int) -> bytes:
+        """Return ``nblocks`` blocks starting at ``blkno``."""
+        self.check_range(blkno, nblocks)
+        bs = self.block_size
+        end = blkno + nblocks
+        nbytes = nblocks * bs
+        lo, hi = self._span(blkno, end)
+        if hi - lo == 1:
+            s, n, buf, off = self._exts[lo]
+            if s <= blkno and s + n >= end:
+                skip = off + (blkno - s) * bs
+                if (isinstance(buf, bytes) and skip == 0
+                        and len(buf) == nbytes):
+                    return buf  # exact image: zero-copy
+                count_copy(nbytes)
+                return bytes(memoryview(buf)[skip:skip + nbytes])
+        refs = self.read_refs(blkno, nblocks)
+        count_copy(nbytes)
+        data = b"".join(r.view() for r in refs)
+        # Coalesce-on-read: only a hole-free range may be stored back as
+        # one extent — re-writing a hole would corrupt is_written().
+        if self.written_in_range(blkno, nblocks) == nblocks:
+            self._place(blkno, nblocks, data, 0)
+        return data
+
+    def write(self, blkno: int, data: Buffer) -> None:
+        """Write ``data`` (a whole number of blocks) starting at ``blkno``.
+
+        Immutable ``bytes`` are adopted by reference; mutable buffers are
+        snapshotted with one counted copy.
+        """
+        nbytes = len(data)
+        self._check_aligned(nbytes)
+        nblocks = nbytes // self.block_size
+        self.check_range(blkno, nblocks)
+        if isinstance(data, bytes):
+            buf: Buffer = data
+        else:
+            count_copy(nbytes)
+            buf = bytes(data)
+        self._place(blkno, nblocks, buf, 0)
+
+    def is_written(self, blkno: int) -> bool:
+        """True if ``blkno`` has ever been written."""
+        lo = bisect_right(self._starts, blkno)
+        if lo == 0:
+            return False
+        row = self._exts[lo - 1]
+        return row[_START] + row[_NBLK] > blkno
+
+    def written_in_range(self, blkno: int, nblocks: int) -> int:
+        """How many blocks of [blkno, blkno+nblocks) have been written."""
+        end = blkno + nblocks
+        lo, hi = self._span(blkno, end)
+        return sum(min(self._exts[j][_START] + self._exts[j][_NBLK], end)
+                   - max(self._exts[j][_START], blkno)
+                   for j in range(lo, hi))
+
+    def discard(self, blkno: int, nblocks: int = 1) -> None:
+        """Forget blocks (used by tests and by WORM 'blank check')."""
+        if nblocks <= 0:
+            return
+        self._carve(blkno, blkno + nblocks)
+
+    def written_blocks(self) -> int:
+        """Number of distinct blocks ever written (space accounting)."""
+        return self._written
+
+    # -- vectored / zero-copy API -------------------------------------------
+
+    def read_refs(self, blkno: int, nblocks: int) -> List[ExtentRef]:
+        """Borrowed ranges covering the request, zeros filling holes."""
+        self.check_range(blkno, nblocks)
+        bs = self.block_size
+        end = blkno + nblocks
+        lo, hi = self._span(blkno, end)
+        refs: List[ExtentRef] = []
+        cursor = blkno
+        for j in range(lo, hi):
+            s, n, buf, off = self._exts[j]
+            if s > cursor:
+                refs.append(ExtentRef(zeros((s - cursor) * bs), 0,
+                                      (s - cursor) * bs))
+                cursor = s
+            take = min(s + n, end) - cursor
+            refs.append(ExtentRef(buf, off + (cursor - s) * bs, take * bs))
+            cursor += take
+        if cursor < end:
+            gap = (end - cursor) * bs
+            refs.append(ExtentRef(zeros(gap), 0, gap))
+        return refs
+
+    def write_refs(self, blkno: int, refs: Sequence[ExtentRef]) -> None:
+        """Adopt borrowed ranges as extents (zero-copy when block-aligned).
+
+        The handing-over side must not mutate the referenced ranges after
+        this call; the store keeps them by reference.
+        """
+        bs = self.block_size
+        total = sum(r.nbytes for r in refs)
+        self._check_aligned(total)
+        self.check_range(blkno, total // bs)
+        if any(r.nbytes % bs for r in refs):
+            # Unaligned pieces: fall back to one materialized image.
+            self.write(blkno, materialize_refs(refs))
+            return
+        idx = self._carve(blkno, blkno + total // bs)
+        cursor = blkno
+        for r in refs:
+            if not r.nbytes:
+                continue
+            n = r.nbytes // bs
+            self._insert(idx, cursor, n, r.buf, r.start)
+            idx = self._span(cursor, cursor + n)[1]
+            cursor += n
+
+    def readv(self, blkno: int, nblocks: int) -> List[memoryview]:
+        """Zero-copy views covering the request (zeros for holes)."""
+        return [r.view() for r in self.read_refs(blkno, nblocks)]
+
+    def writev(self, blkno: int, parts: Sequence[Buffer]) -> None:
+        """Write a sequence of buffers at consecutive block positions."""
+        cursor = blkno
+        for part in parts:
+            if not len(part):
+                continue
+            self.write(cursor, part)
+            cursor += len(part) // self.block_size

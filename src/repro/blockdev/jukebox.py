@@ -15,10 +15,12 @@ from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence
 
 from repro import obs
-from repro.blockdev.base import BlockStore, DeviceStats
+from repro.blockdev.base import DeviceStats, make_store
 from repro.blockdev.bus import SCSIBus
-from repro.errors import (DriveBusy, NoSuchVolume, ReadOnlyMedium,
-                          VolumeNotLoaded)
+from repro.blockdev.datapath import (Buffer, ExtentRef, materialize_refs,
+                                     ref_of)
+from repro.errors import (DriveBusy, EndOfMedium, NoSuchVolume,
+                          ReadOnlyMedium, VolumeNotLoaded)
 from repro.sim.actor import Actor
 from repro.sim.resources import TimelineResource
 from repro.util.lru import LRUTracker
@@ -38,7 +40,8 @@ class RemovableVolume:
                  effective_capacity_bytes: Optional[int] = None,
                  write_once: bool = False) -> None:
         self.volume_id = volume_id
-        self.store = BlockStore(max(1, capacity_bytes // block_size), block_size)
+        self.store = make_store(max(1, capacity_bytes // block_size),
+                                block_size)
         if effective_capacity_bytes is None:
             effective_capacity_bytes = capacity_bytes
         self.effective_capacity_blocks = max(
@@ -99,22 +102,44 @@ class Drive(ABC):
                 f"volume {self.loaded.volume_id} has failed")
         return self.loaded
 
+    def _pre_write(self, volume: RemovableVolume, blkno: int,
+                   nblocks: int) -> None:
+        """Shared pre-write policy: end-of-medium, then WORM blank check."""
+        if blkno + nblocks > volume.effective_capacity_blocks:
+            raise EndOfMedium(
+                f"volume {volume.volume_id}: write of {nblocks} blocks at "
+                f"{blkno} passes effective capacity "
+                f"{volume.effective_capacity_blocks}")
+        self._check_write(volume, blkno, nblocks)
+
     def _check_write(self, volume: RemovableVolume, blkno: int,
                      nblocks: int) -> None:
-        if volume.write_once:
-            for i in range(nblocks):
-                if volume.store.is_written(blkno + i):
-                    raise ReadOnlyMedium(
-                        f"volume {volume.volume_id} block {blkno + i} "
-                        "already written (WORM)")
+        if volume.write_once and \
+                volume.store.written_in_range(blkno, nblocks):
+            first = next(i for i in range(nblocks)
+                         if volume.store.is_written(blkno + i))
+            raise ReadOnlyMedium(
+                f"volume {volume.volume_id} block {blkno + first} "
+                "already written (WORM)")
 
     @abstractmethod
     def read(self, actor: Actor, blkno: int, nblocks: int) -> bytes:
         """Timed read from the loaded volume."""
 
     @abstractmethod
-    def write(self, actor: Actor, blkno: int, data: bytes) -> None:
+    def write(self, actor: Actor, blkno: int, data: Buffer) -> None:
         """Timed write to the loaded volume."""
+
+    def read_refs(self, actor: Actor, blkno: int,
+                  nblocks: int) -> List[ExtentRef]:
+        """Timed zero-copy read; subclasses override with store-native
+        versions whose timing matches :meth:`read` exactly."""
+        return [ref_of(self.read(actor, blkno, nblocks))]
+
+    def write_refs(self, actor: Actor, blkno: int,
+                   refs: List[ExtentRef]) -> None:
+        """Timed zero-copy write (caller stops mutating the ranges)."""
+        self.write(actor, blkno, materialize_refs(refs))
 
     def on_load(self, volume: RemovableVolume) -> None:
         """Hook: reset positioning state when media changes."""
@@ -224,8 +249,25 @@ class Jukebox:
         return data
 
     def write(self, actor: Actor, volume_id: int, blkno: int,
-              data: bytes, drive_index: Optional[int] = None) -> None:
+              data: Buffer, drive_index: Optional[int] = None) -> None:
         """Load (if needed) and write to a volume."""
         idx = self.load(actor, volume_id, drive_index)
         self.drives[idx].write(actor, blkno, data)
+        self._drive_lru.touch(idx)
+
+    def read_refs(self, actor: Actor, volume_id: int, blkno: int,
+                  nblocks: int,
+                  drive_index: Optional[int] = None) -> List[ExtentRef]:
+        """Load (if needed) and read borrowed ranges from a volume."""
+        idx = self.load(actor, volume_id, drive_index)
+        refs = self.drives[idx].read_refs(actor, blkno, nblocks)
+        self._drive_lru.touch(idx)
+        return refs
+
+    def write_refs(self, actor: Actor, volume_id: int, blkno: int,
+                   refs: List[ExtentRef],
+                   drive_index: Optional[int] = None) -> None:
+        """Load (if needed) and write borrowed ranges to a volume."""
+        idx = self.load(actor, volume_id, drive_index)
+        self.drives[idx].write_refs(actor, blkno, refs)
         self._drive_lru.touch(idx)

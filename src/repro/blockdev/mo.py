@@ -8,12 +8,12 @@ rates already fold that in.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.blockdev.bus import SCSIBus
+from repro.blockdev.datapath import Buffer, ExtentRef, refs_nbytes
 from repro.blockdev.geometry import DiskProfile
 from repro.blockdev.jukebox import Drive, RemovableVolume
-from repro.errors import EndOfMedium
 from repro.sim.actor import Actor
 from repro.sim.resources import TimelineResource, occupy_all
 
@@ -77,15 +77,31 @@ class MODrive(Drive):
         self.stats.record("read", len(data), pos, xfer)
         return data
 
-    def write(self, actor: Actor, blkno: int, data: bytes) -> None:
+    def write(self, actor: Actor, blkno: int, data: Buffer) -> None:
         volume = self.require_loaded()
         nblocks = len(data) // volume.block_size
-        if blkno + nblocks > volume.effective_capacity_blocks:
-            raise EndOfMedium(
-                f"volume {volume.volume_id}: write of {nblocks} blocks at "
-                f"{blkno} passes effective capacity "
-                f"{volume.effective_capacity_blocks}")
-        self._check_write(volume, blkno, nblocks)
+        self._pre_write(volume, blkno, nblocks)
         volume.store.write(blkno, data)
         pos, xfer = self._do_io(actor, blkno, len(data), is_write=True)
         self.stats.record("write", len(data), pos, xfer)
+
+    # -- zero-copy variants (timing identical to read/write) ----------------
+
+    def read_refs(self, actor: Actor, blkno: int,
+                  nblocks: int) -> List[ExtentRef]:
+        volume = self.require_loaded()
+        refs = volume.store.read_refs(blkno, nblocks)
+        nbytes = nblocks * volume.block_size
+        pos, xfer = self._do_io(actor, blkno, nbytes, is_write=False)
+        self.stats.record("read", nbytes, pos, xfer)
+        return refs
+
+    def write_refs(self, actor: Actor, blkno: int,
+                   refs: Sequence[ExtentRef]) -> None:
+        volume = self.require_loaded()
+        nbytes = refs_nbytes(refs)
+        nblocks = nbytes // volume.block_size
+        self._pre_write(volume, blkno, nblocks)
+        volume.store.write_refs(blkno, refs)
+        pos, xfer = self._do_io(actor, blkno, nbytes, is_write=True)
+        self.stats.record("write", nbytes, pos, xfer)

@@ -13,6 +13,8 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.blockdev.base import BlockDevice
+from repro.blockdev.datapath import (Buffer, ExtentRef, count_copy, ref_of,
+                                     refs_nbytes, split_refs)
 from repro.errors import AddressError, InvalidArgument
 from repro.sim.actor import Actor
 
@@ -64,16 +66,51 @@ class ConcatDevice(BlockDevice):
         self.store.check_range(blkno, nblocks)
         parts = [dev.read(actor, local, run)
                  for dev, local, run in self._split(blkno, nblocks)]
-        data = b"".join(parts)
+        if len(parts) == 1:
+            data = parts[0]  # segment-granular layout: the common case
+        else:
+            count_copy(nblocks * self.block_size)
+            data = b"".join(parts)
         self.stats.record("read", len(data))
         return data
 
-    def write(self, actor: Actor, blkno: int, data: bytes) -> None:
+    def write(self, actor: Actor, blkno: int, data: Buffer) -> None:
         nblocks = len(data) // self.block_size
         self.store.check_range(blkno, nblocks)
-        offset = 0
-        for dev, local, run in self._split(blkno, nblocks):
-            chunk = data[offset:offset + run * self.block_size]
-            dev.write(actor, local, chunk)
-            offset += len(chunk)
+        runs = list(self._split(blkno, nblocks))
+        if len(runs) == 1:
+            runs[0][0].write(actor, runs[0][1], data)
+        else:
+            view = memoryview(data)
+            offset = 0
+            for dev, local, run in runs:
+                nbytes = run * self.block_size
+                dev.write(actor, local, view[offset:offset + nbytes])
+                offset += nbytes
         self.stats.record("write", len(data))
+
+    # -- zero-copy variants (same component ops, same accounting) -----------
+
+    def read_refs(self, actor: Actor, blkno: int,
+                  nblocks: int) -> List[ExtentRef]:
+        self.store.check_range(blkno, nblocks)
+        refs: List[ExtentRef] = []
+        for dev, local, run in self._split(blkno, nblocks):
+            refs.extend(dev.read_refs(actor, local, run))
+        self.stats.record("read", nblocks * self.block_size)
+        return refs
+
+    def write_refs(self, actor: Actor, blkno: int,
+                   refs: Sequence[ExtentRef]) -> None:
+        nbytes = refs_nbytes(refs)
+        self.store.check_range(blkno, nbytes // self.block_size)
+        rest = list(refs)
+        for dev, local, run in self._split(blkno, nbytes // self.block_size):
+            chunk, rest = split_refs(rest, run * self.block_size)
+            dev.write_refs(actor, local, chunk)
+        self.stats.record("write", nbytes)
+
+    def writev(self, actor: Actor, blkno: int,
+               parts: Sequence[Buffer]) -> None:
+        self.write_refs(actor, blkno,
+                        [ref_of(p) for p in parts if len(p)])

@@ -10,11 +10,11 @@ interrupted segment on the next volume.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.blockdev.bus import SCSIBus
+from repro.blockdev.datapath import Buffer, ExtentRef, refs_nbytes
 from repro.blockdev.jukebox import Drive, RemovableVolume
-from repro.errors import EndOfMedium
 from repro.sim.actor import Actor
 from repro.sim.resources import TimelineResource, occupy_all
 
@@ -81,18 +81,39 @@ class TapeDrive(Drive):
         self.stats.record("read", len(data), wind, xfer)
         return data
 
-    def write(self, actor: Actor, blkno: int, data: bytes) -> None:
+    def write(self, actor: Actor, blkno: int, data: Buffer) -> None:
         volume = self.require_loaded()
         nblocks = len(data) // volume.block_size
-        if blkno + nblocks > volume.effective_capacity_blocks:
-            raise EndOfMedium(
-                f"volume {volume.volume_id}: write of {nblocks} blocks at "
-                f"{blkno} passes effective capacity "
-                f"{volume.effective_capacity_blocks}")
-        self._check_write(volume, blkno, nblocks)
+        self._pre_write(volume, blkno, nblocks)
         volume.store.write(blkno, data)
+        self._timed_write(actor, blkno, len(data))
+
+    def _timed_write(self, actor: Actor, blkno: int, nbytes: int) -> None:
         self.transport.occupy(actor, self.per_op_overhead)
         wind = self._wind_to(actor, blkno)
-        xfer = self._stream(actor, len(data), is_write=True)
+        xfer = self._stream(actor, nbytes, is_write=True)
+        self.position_blk = blkno + nbytes // self.block_size
+        self.stats.record("write", nbytes, wind, xfer)
+
+    # -- zero-copy variants (timing identical to read/write) ----------------
+
+    def read_refs(self, actor: Actor, blkno: int,
+                  nblocks: int) -> List[ExtentRef]:
+        volume = self.require_loaded()
+        refs = volume.store.read_refs(blkno, nblocks)
+        self.transport.occupy(actor, self.per_op_overhead)
+        wind = self._wind_to(actor, blkno)
+        xfer = self._stream(actor, nblocks * volume.block_size,
+                            is_write=False)
         self.position_blk = blkno + nblocks
-        self.stats.record("write", len(data), wind, xfer)
+        self.stats.record("read", nblocks * volume.block_size, wind, xfer)
+        return refs
+
+    def write_refs(self, actor: Actor, blkno: int,
+                   refs: Sequence[ExtentRef]) -> None:
+        volume = self.require_loaded()
+        nbytes = refs_nbytes(refs)
+        nblocks = nbytes // volume.block_size
+        self._pre_write(volume, blkno, nblocks)
+        volume.store.write_refs(blkno, refs)
+        self._timed_write(actor, blkno, nbytes)

@@ -17,9 +17,11 @@ service process) a tertiary volume.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.blockdev.base import BlockDevice, CPUModel
+from repro.blockdev.datapath import (Buffer, ExtentRef, materialize_refs,
+                                     ref_of, refs_nbytes)
 from repro.errors import AddressError, InvalidArgument
 from repro.lfs.constants import BLOCK_SIZE, BLOCKS_PER_SEG, RESERVED_BLOCKS
 from repro.sim.actor import Actor
@@ -180,7 +182,7 @@ def line_read(disk: BlockDevice, actor: Actor, daddr: int, nblocks: int,
     return disk.read(actor, daddr, nblocks)
 
 
-def line_write(disk: BlockDevice, actor: Actor, daddr: int, data: bytes,
+def line_write(disk: BlockDevice, actor: Actor, daddr: int, data: Buffer,
                aspace: Optional[AddressSpace] = None) -> None:
     """The sanctioned raw-disk write path for cache/staging lines.
 
@@ -190,6 +192,28 @@ def line_write(disk: BlockDevice, actor: Actor, daddr: int, data: bytes,
         nblocks = max(1, len(data) // BLOCK_SIZE)
         _check_disk_range(aspace, daddr, nblocks)
     disk.write(actor, daddr, data)
+
+
+def line_read_refs(disk: BlockDevice, actor: Actor, daddr: int, nblocks: int,
+                   aspace: Optional[AddressSpace] = None) -> List[ExtentRef]:
+    """Zero-copy variant of :func:`line_read`: borrowed ranges instead of
+    joined bytes.  Timing is identical to :func:`line_read` of the same
+    size (only host data movement differs)."""
+    if aspace is not None:
+        _check_disk_range(aspace, daddr, nblocks)
+    return disk.read_refs(actor, daddr, nblocks)
+
+
+def line_write_refs(disk: BlockDevice, actor: Actor, daddr: int,
+                    refs: Sequence[ExtentRef],
+                    aspace: Optional[AddressSpace] = None) -> None:
+    """Zero-copy variant of :func:`line_write`; the caller must not
+    mutate the referenced ranges after the call (the disk store adopts
+    them by reference)."""
+    if aspace is not None:
+        nblocks = max(1, refs_nbytes(refs) // BLOCK_SIZE)
+        _check_disk_range(aspace, daddr, nblocks)
+    disk.write_refs(actor, daddr, refs)
 
 
 class BlockMapDriver:
@@ -265,7 +289,26 @@ class BlockMapDriver:
             self.service.after_miss(actor, segno)
         return data
 
-    def write(self, actor: Actor, daddr: int, data: bytes) -> None:
+    def read_refs(self, actor: Actor, daddr: int,
+                  nblocks: int) -> "List[ExtentRef]":
+        """As :meth:`read`, returning borrowed ranges instead of a copy.
+
+        Tertiary addresses fall back to the scalar per-segment path (a
+        cache-line read is already one device op per segment).
+        """
+        self._charge_lookup(actor)
+        if daddr < RESERVED_BLOCKS:  # boot blocks / superblock area
+            return self.disk.read_refs(actor, daddr, nblocks)
+        self.aspace.check(daddr)
+        if self.aspace.is_disk_daddr(daddr):
+            return self.disk.read_refs(actor, daddr, nblocks)
+        refs: "List[ExtentRef]" = []
+        for segno, offset, run in self._split_by_segment(daddr, nblocks):
+            refs.append(ref_of(self._read_tertiary(actor, segno, offset,
+                                                   run)))
+        return refs
+
+    def write(self, actor: Actor, daddr: int, data: Buffer) -> None:
         self._charge_lookup(actor)
         if daddr < RESERVED_BLOCKS:  # boot blocks / superblock area
             self.disk.write(actor, daddr, data)
@@ -274,17 +317,42 @@ class BlockMapDriver:
         if self.aspace.is_disk_daddr(daddr):
             self.disk.write(actor, daddr, data)
             return
+        self._write_tertiary(actor, daddr, data)
+
+    def _write_tertiary(self, actor: Actor, daddr: int, data: Buffer) -> None:
         # Writes to tertiary addresses are only legal against a cached
         # (staging) line; fresh tertiary segments are assembled on disk
         # and copied out by the I/O server (paper §6.2).
         nblocks = len(data) // BLOCK_SIZE
+        runs = list(self._split_by_segment(daddr, nblocks))
         offset_bytes = 0
-        for segno, offset, run in self._split_by_segment(daddr, nblocks):
+        for segno, offset, run in runs:
             disk_segno = self.cache.lookup(segno)
             if disk_segno is None:
                 raise AddressError(
                     f"write to uncached tertiary segment {segno}")
             line_base = self.aspace.seg_base(disk_segno)
-            chunk = data[offset_bytes:offset_bytes + run * BLOCK_SIZE]
+            nbytes = run * BLOCK_SIZE
+            if len(runs) == 1:
+                chunk: Buffer = data
+            else:
+                chunk = memoryview(data)[offset_bytes:offset_bytes + nbytes]
             self.disk.write(actor, line_base + offset, chunk)
-            offset_bytes += len(chunk)
+            offset_bytes += nbytes
+
+    def writev(self, actor: Actor, daddr: int,
+               parts: "Sequence[Buffer]") -> None:
+        """Gather-write: disk addresses go down as one vectored device op
+        (the segment writer's partial-segment path); tertiary addresses
+        fall back to the scalar staging-line path."""
+        self._charge_lookup(actor)
+        if daddr < RESERVED_BLOCKS:
+            self.disk.writev(actor, daddr, parts)
+            return
+        self.aspace.check(daddr)
+        if self.aspace.is_disk_daddr(daddr):
+            self.disk.writev(actor, daddr, parts)
+            return
+        self._write_tertiary(
+            actor, daddr,
+            materialize_refs([ref_of(p) for p in parts if len(p)]))

@@ -71,6 +71,12 @@ class HighLightConfig(LFSConfig):
     sched_prefetch_queue_limit: int = 16
     sched_writeout_queue_limit: int = 8
     sched_cleaner_queue_limit: int = 32
+    #: Device data-path implementation: "extent" (zero-copy extent runs)
+    #: or "blockdict" (the historical per-block baseline, kept for the
+    #: A/B in ``python -m repro.bench --perf``).  Applied process-wide at
+    #: device construction time by the bench harness; virtual-time
+    #: results are bit-identical across modes.
+    datapath_mode: str = "extent"
 
 
 class HighLightFS(LFS):
@@ -255,6 +261,15 @@ class HighLightFS(LFS):
                     ("op",)).labels(op="read").inc(nblocks)
         return self.driver.read(actor, daddr, nblocks)
 
+    def dev_read_refs(self, actor: Actor, daddr: int, nblocks: int):
+        if self.driver is None:
+            return super().dev_read_refs(actor, daddr, nblocks)
+        self.stats.blocks_read += nblocks
+        obs.counter("highlight_dev_blocks_total",
+                    "blocks routed through the block-map driver",
+                    ("op",)).labels(op="read").inc(nblocks)
+        return self.driver.read_refs(actor, daddr, nblocks)
+
     def dev_write(self, actor: Actor, daddr: int, data: bytes) -> None:
         if self.driver is None:
             super().dev_write(actor, daddr, data)
@@ -265,6 +280,17 @@ class HighLightFS(LFS):
                     "blocks routed through the block-map driver",
                     ("op",)).labels(op="write").inc(nblocks)
         self.driver.write(actor, daddr, data)
+
+    def dev_writev(self, actor: Actor, daddr: int, parts) -> None:
+        if self.driver is None:
+            super().dev_writev(actor, daddr, parts)
+            return
+        nblocks = sum(len(p) for p in parts) // BLOCK_SIZE
+        self.stats.blocks_written += nblocks
+        obs.counter("highlight_dev_blocks_total",
+                    "blocks routed through the block-map driver",
+                    ("op",)).labels(op="write").inc(nblocks)
+        self.driver.writev(actor, daddr, parts)
 
     # ------------------------------------------------------------------
     # Log management overrides

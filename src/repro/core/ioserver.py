@@ -27,7 +27,8 @@ from typing import Optional
 
 from repro import obs
 from repro.blockdev.base import BlockDevice
-from repro.core.addressing import line_read, line_write
+from repro.blockdev.datapath import refs_nbytes
+from repro.core.addressing import line_read_refs, line_write_refs
 from repro.footprint.interface import FootprintInterface
 from repro.sim.actor import Actor, TimeAccount
 
@@ -86,22 +87,23 @@ class IOServer:
         bps = self.aspace.blocks_per_seg
         start = actor.time
         t0 = actor.time
-        image = self.footprint.read(actor, vol_id, blkno, bps)
+        image = self.footprint.read_refs(actor, vol_id, blkno, bps)
         self.account.charge(CAT_FOOTPRINT_READ, actor.time - t0)
         t0 = actor.time
-        line_write(self.disk, actor, self.aspace.seg_base(disk_segno), image,
-                   self.aspace)
+        line_write_refs(self.disk, actor, self.aspace.seg_base(disk_segno),
+                        image, self.aspace)
         self.account.charge(CAT_DISK_WRITE, actor.time - t0)
+        nbytes = refs_nbytes(image)
         self.segments_fetched += 1
         obs.counter("ioserver_segments_fetched_total",
                     "tertiary segments demand-fetched into cache lines").inc()
         obs.counter("ioserver_fetch_bytes_total",
-                    "bytes copied tertiary -> disk cache").inc(len(image))
+                    "bytes copied tertiary -> disk cache").inc(nbytes)
         obs.histogram("ioserver_fetch_seconds",
                       "virtual seconds per whole-segment fetch").observe(
                           actor.time - start)
         obs.event(obs.EV_SEGMENT_FETCH, actor.time, tsegno=tsegno,
-                  disk_segno=disk_segno, volume=vol_id, bytes=len(image),
+                  disk_segno=disk_segno, volume=vol_id, bytes=nbytes,
                   seconds=actor.time - start, actor=actor.name)
 
     # -- write-out ---------------------------------------------------------------
@@ -125,17 +127,17 @@ class IOServer:
         bps = self.aspace.blocks_per_seg
         line_base = self.aspace.seg_base(disk_segno)
         start = actor.time
-        chunks = []
+        image = []  # borrowed ranges accumulated chunk by chunk
         offset = 0
         while offset < bps:
             run = min(self.io_chunk_blocks, bps - offset)
             t0 = actor.time
-            chunks.append(line_read(self.disk, actor, line_base + offset,
-                                    run, self.aspace))
+            image.extend(line_read_refs(self.disk, actor, line_base + offset,
+                                        run, self.aspace))
             self.account.charge(CAT_IOSERVER_READ, actor.time - t0)
             offset += run
             yield
-        image = b"".join(chunks)
+        nbytes = refs_nbytes(image)
 
         _vol, vol_id, blkno = self._volume_blkno(tsegno)
         if vol_id != self._pinned_volume:
@@ -145,20 +147,20 @@ class IOServer:
             self._pinned_volume = vol_id
         t0 = actor.time
         try:
-            self.footprint.write(actor, vol_id, blkno, image)
+            self.footprint.write_refs(actor, vol_id, blkno, image)
         finally:
             self.account.charge(CAT_FOOTPRINT_WRITE, actor.time - t0)
         self.segments_written += 1
-        self.writeout_log.append((tsegno, actor.time, len(image)))
+        self.writeout_log.append((tsegno, actor.time, nbytes))
         obs.counter("ioserver_segments_written_total",
                     "staged segments copied out to tertiary storage").inc()
         obs.counter("ioserver_writeout_bytes_total",
-                    "bytes copied disk staging -> tertiary").inc(len(image))
+                    "bytes copied disk staging -> tertiary").inc(nbytes)
         obs.histogram("ioserver_writeout_seconds",
                       "virtual seconds per whole-segment write-out").observe(
                           actor.time - start)
         obs.event(obs.EV_SEGMENT_WRITEOUT, actor.time, tsegno=tsegno,
-                  disk_segno=disk_segno, volume=vol_id, bytes=len(image),
+                  disk_segno=disk_segno, volume=vol_id, bytes=nbytes,
                   seconds=actor.time - start, actor=actor.name)
 
     def read_segment_image(self, actor: Actor, tsegno: int) -> bytes:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro import obs
+from repro.blockdev.datapath import block_views
 from repro.core.addressing import line_read
 from repro.errors import InvalidArgument, MigrationError
 from repro.lfs.constants import (BLOCK_SIZE, DOUBLE_ROOT_LBN, PTRS_PER_BLOCK,
@@ -234,14 +235,17 @@ class Migrator:
                    and len(run) < self.spill_chunk_blocks):
                 run.append(block_map[idx + len(run)])
             idx += len(run)
-            image = fs.dev_read(actor, run[0][1], len(run))
+            # Borrowed ranges: staging copies each live block exactly
+            # once (at the builder append); the gather itself is free.
+            refs = fs.dev_read_refs(actor, run[0][1], len(run))
+            blocks = block_views(refs, BLOCK_SIZE)
             yield
             live = fs.lfs_bmapv([(inum, lbn, daddr) for lbn, daddr in run],
                                 actor)
             for k, ((lbn, old_daddr), alive) in enumerate(zip(run, live)):
                 if not alive:
                     continue
-                data = image[k * BLOCK_SIZE:(k + 1) * BLOCK_SIZE]
+                data = blocks[k]
                 lastlength = self._lastlength(ino, lbn)
                 new_daddr = self._stage_block(actor, inum, lbn, data,
                                               lastlength)

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.addressing import line_write
+from repro.blockdev.datapath import Buffer, ExtentRef, count_copy
+from repro.core.addressing import line_write, line_write_refs
 from repro.errors import InvalidArgument
 from repro.lfs.constants import BLOCK_SIZE
 from repro.lfs.inode import Inode, pack_inode_block
@@ -22,7 +23,13 @@ from repro.sim.actor import Actor
 
 
 class StagingBuilder:
-    """Assembles one tertiary segment inside a disk cache line."""
+    """Assembles one tertiary segment inside a disk cache line.
+
+    Payload accumulates append-only into one preallocated segment-sized
+    buffer (the single gather copy of the whole migration data path);
+    spills hand already-written regions of that buffer to the disk store
+    by reference, and nothing ever mutates a handed-over region again.
+    """
 
     def __init__(self, fs, tsegno: int, disk_segno: int,
                  spill_chunk_blocks: int = 16) -> None:
@@ -31,10 +38,25 @@ class StagingBuilder:
         self.disk_segno = disk_segno
         self.spill_chunk_blocks = spill_chunk_blocks
         self.summary = SegmentSummary()
-        self.blocks: List[bytes] = []        # all payload blocks, in order
+        self._buf = bytearray(
+            (fs.config.blocks_per_seg - 1) * BLOCK_SIZE)
+        self._nblocks = 0                    # payload blocks accumulated
         self.inode_daddr_slots: List[int] = []
         self._spilled = 0                    # payload blocks already on disk
         self.finalized = False
+
+    @property
+    def blocks(self) -> List[memoryview]:
+        """Per-block views of the accumulated payload, in order."""
+        mv = memoryview(self._buf)
+        return [mv[i * BLOCK_SIZE:(i + 1) * BLOCK_SIZE]
+                for i in range(self._nblocks)]
+
+    def _append(self, data: Buffer) -> None:
+        off = self._nblocks * BLOCK_SIZE
+        self._buf[off:off + len(data)] = data
+        count_copy(len(data))
+        self._nblocks += 1
 
     # -- geometry ---------------------------------------------------------------
 
@@ -54,7 +76,7 @@ class StagingBuilder:
         return self._bps - 1  # one block reserved for the summary
 
     def is_full(self) -> bool:
-        return len(self.blocks) >= self.payload_capacity()
+        return self._nblocks >= self.payload_capacity()
 
     def room_for_block(self, inum: int) -> bool:
         if self.is_full():
@@ -79,14 +101,14 @@ class StagingBuilder:
             raise InvalidArgument("staging segment already finalized")
         if not self.room_for_block(inum):
             raise InvalidArgument("staging segment is full")
-        daddr = self.tseg_base + 1 + len(self.blocks)
+        daddr = self.tseg_base + 1 + self._nblocks
         if self.summary.finfos and self.summary.finfos[-1].ino == inum:
             fi = self.summary.finfos[-1]
             fi.blocks.append(lbn)
             fi.lastlength = lastlength
         else:
             self.summary.finfos.append(FileInfo(inum, lastlength, [lbn]))
-        self.blocks.append(data)
+        self._append(data)
         return daddr
 
     def add_inode_block(self, inodes: List[Inode]) -> int:
@@ -95,16 +117,16 @@ class StagingBuilder:
             raise InvalidArgument("staging segment already finalized")
         if not self.room_for_inode_block():
             raise InvalidArgument("staging segment is full")
-        daddr = self.tseg_base + 1 + len(self.blocks)
-        self.blocks.append(pack_inode_block(inodes))
+        daddr = self.tseg_base + 1 + self._nblocks
+        self._append(pack_inode_block(inodes))
         self.summary.inode_daddrs.append(daddr)
-        self.inode_daddr_slots.append(len(self.blocks) - 1)
+        self.inode_daddr_slots.append(self._nblocks - 1)
         return daddr
 
     # -- spilling to the disk line ---------------------------------------------------
 
     def pending_spill_blocks(self) -> int:
-        return len(self.blocks) - self._spilled
+        return self._nblocks - self._spilled
 
     def spill(self, actor: Actor, all_pending: bool = False) -> bool:
         """Write buffered payload blocks to the disk line.
@@ -116,13 +138,14 @@ class StagingBuilder:
         while (self.pending_spill_blocks() >= self.spill_chunk_blocks
                or (all_pending and self.pending_spill_blocks() > 0)):
             take = min(self.spill_chunk_blocks, self.pending_spill_blocks())
-            chunk = b"".join(
-                self.blocks[self._spilled:self._spilled + take])
-            # Cleaner-style gather copy, then the raw write to the line.
-            self.fs.cpu.copy(actor, len(chunk))
-            line_write(self.fs.disk, actor,
-                       self.line_base + 1 + self._spilled, chunk,
-                       self.fs.aspace)
+            nbytes = take * BLOCK_SIZE
+            # The gather copy's virtual cost (paper's cleaner-style staging
+            # charge); the host-side gather already happened at append time.
+            self.fs.cpu.copy(actor, nbytes)
+            line_write_refs(
+                self.fs.disk, actor, self.line_base + 1 + self._spilled,
+                [ExtentRef(self._buf, self._spilled * BLOCK_SIZE, nbytes)],
+                self.fs.aspace)
             self._spilled += take
             wrote = True
             if not all_pending:
@@ -148,4 +171,4 @@ class StagingBuilder:
         self.finalized = True
 
     def used_bytes(self) -> int:
-        return (1 + len(self.blocks)) * BLOCK_SIZE
+        return (1 + self._nblocks) * BLOCK_SIZE

@@ -15,6 +15,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List
 
+from repro.blockdev.datapath import (Buffer, ExtentRef, materialize_refs,
+                                     ref_of)
 from repro.sim.actor import Actor
 
 
@@ -48,13 +50,31 @@ class FootprintInterface(ABC):
 
     @abstractmethod
     def write(self, actor: Actor, volume_id: int, blkno: int,
-              data: bytes) -> None:
+              data: Buffer) -> None:
         """Write blocks to a volume.
 
         Raises :class:`repro.errors.EndOfMedium` if the volume fills; the
         caller (HighLight's I/O server) marks the volume full and re-issues
         the segment on the next volume.
         """
+
+    def read_refs(self, actor: Actor, volume_id: int, blkno: int,
+                  nblocks: int) -> List[ExtentRef]:
+        """Zero-copy read: borrowed ranges instead of joined bytes.
+
+        The default wraps :meth:`read` so alternative Footprint
+        implementations (fakes, RPC shims) keep working; the jukebox
+        implementation overrides it with a store-native version whose
+        virtual timing matches :meth:`read` exactly.
+        """
+        return [ref_of(self.read(actor, volume_id, blkno, nblocks))]
+
+    def write_refs(self, actor: Actor, volume_id: int, blkno: int,
+                   refs: List[ExtentRef]) -> None:
+        """Zero-copy write of borrowed ranges; the caller must not mutate
+        the ranges afterwards.  Same EndOfMedium contract as
+        :meth:`write`."""
+        self.write(actor, volume_id, blkno, materialize_refs(refs))
 
     @abstractmethod
     def mark_full(self, volume_id: int) -> None:

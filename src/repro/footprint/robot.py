@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro import obs
+from repro.blockdev.datapath import Buffer, ExtentRef, refs_nbytes
 from repro.blockdev.jukebox import Jukebox
 from repro.errors import NoSuchVolume
 from repro.footprint.interface import FootprintInterface, VolumeInfo
@@ -78,11 +79,26 @@ class JukeboxFootprint(FootprintInterface):
         return data
 
     def write(self, actor: Actor, volume_id: int, blkno: int,
-              data: bytes) -> None:
+              data: Buffer) -> None:
         t0 = actor.time
         idx = self._drive_for(actor, volume_id, is_write=True)
         self.jukebox.drives[idx].write(actor, blkno, data)
         self._account("write", len(data), actor.time - t0)
+
+    def read_refs(self, actor: Actor, volume_id: int, blkno: int,
+                  nblocks: int) -> List[ExtentRef]:
+        t0 = actor.time
+        idx = self._drive_for(actor, volume_id, is_write=False)
+        refs = self.jukebox.drives[idx].read_refs(actor, blkno, nblocks)
+        self._account("read", refs_nbytes(refs), actor.time - t0)
+        return refs
+
+    def write_refs(self, actor: Actor, volume_id: int, blkno: int,
+                   refs: List[ExtentRef]) -> None:
+        t0 = actor.time
+        idx = self._drive_for(actor, volume_id, is_write=True)
+        self.jukebox.drives[idx].write_refs(actor, blkno, refs)
+        self._account("write", refs_nbytes(refs), actor.time - t0)
 
     @staticmethod
     def _account(op: str, nbytes: int, seconds: float) -> None:

@@ -41,6 +41,7 @@ class BufferCache:
         self.capacity_blocks = max(8, capacity_bytes // BLOCK_SIZE)
         self._bufs: Dict[BufKey, Buffer] = {}
         self._lru: LRUTracker[BufKey] = LRUTracker()
+        self._dirty = 0
         self.hits = 0
         self.misses = 0
 
@@ -48,7 +49,9 @@ class BufferCache:
         return len(self._bufs)
 
     def dirty_count(self) -> int:
-        return sum(1 for b in self._bufs.values() if b.dirty)
+        # Maintained incrementally: needs_flush() runs on every write, so
+        # an O(cache) scan here dominates large sequential-write phases.
+        return self._dirty
 
     # -- lookup/insert -----------------------------------------------------
 
@@ -75,16 +78,22 @@ class BufferCache:
         existing = self._bufs.get(key)
         if existing is not None:
             existing.data = data
+            if dirty and not existing.dirty:
+                self._dirty += 1
             existing.dirty = existing.dirty or dirty
             self._lru.touch(key)
             return
         self._evict_for_room()
         self._bufs[key] = Buffer(key, data, dirty)
+        if dirty:
+            self._dirty += 1
         self._lru.touch(key)
 
     def mark_clean(self, key: BufKey) -> None:
         buf = self._bufs.get(key)
         if buf is not None:
+            if buf.dirty:
+                self._dirty -= 1
             buf.dirty = False
 
     def is_dirty(self, key: BufKey) -> bool:
@@ -117,7 +126,9 @@ class BufferCache:
 
     def invalidate(self, key: BufKey) -> None:
         """Drop one block regardless of state (truncate/unlink path)."""
-        self._bufs.pop(key, None)
+        buf = self._bufs.pop(key, None)
+        if buf is not None and buf.dirty:
+            self._dirty -= 1
         self._lru.discard(key)
 
     def invalidate_inode(self, inum: int) -> None:

@@ -174,9 +174,20 @@ class LFS:
         self.stats.blocks_read += nblocks
         return self.device.read(actor, daddr, nblocks)
 
+    def dev_read_refs(self, actor: Actor, daddr: int, nblocks: int):
+        """As :meth:`dev_read`, returning borrowed byte ranges (the
+        migrator's bulk gather path — no join copy on the host)."""
+        self.stats.blocks_read += nblocks
+        return self.device.read_refs(actor, daddr, nblocks)
+
     def dev_write(self, actor: Actor, daddr: int, data: bytes) -> None:
         self.stats.blocks_written += len(data) // BLOCK_SIZE
         self.device.write(actor, daddr, data)
+
+    def dev_writev(self, actor: Actor, daddr: int, parts) -> None:
+        """Gather-write a list of block buffers as one device op."""
+        self.stats.blocks_written += sum(len(p) for p in parts) // BLOCK_SIZE
+        self.device.writev(actor, daddr, parts)
 
     # ------------------------------------------------------------------
     # Inode management

@@ -135,13 +135,16 @@ class _PartialBuilder:
         self.summary.compute_datasum(payload)
         raw_summary = self.summary.pack(fs.config.summary_size)
         summary_block = raw_summary.ljust(BLOCK_SIZE, b"\0")
-        image = summary_block + b"".join(payload)
-        # The staging copy: LFS "copies block buffers into a staging area
-        # before writing to disk, so that the disk driver can do a single
-        # large transfer" (paper §7.1).
-        fs.cpu.copy(self.actor, len(image))
-        fs.dev_write(self.actor, fs.seg_base(fs.cur_segno) + fs.cur_offset,
-                     image)
+        parts = [summary_block] + payload
+        nbytes = sum(len(p) for p in parts)
+        # The staging copy's virtual cost: LFS "copies block buffers into
+        # a staging area before writing to disk, so that the disk driver
+        # can do a single large transfer" (paper §7.1).  The host-side
+        # gather is gone — the device adopts the immutable blocks as one
+        # vectored write — but the simulated machine still pays for it.
+        fs.cpu.copy(self.actor, nbytes)
+        fs.dev_writev(self.actor, fs.seg_base(fs.cur_segno) + fs.cur_offset,
+                      parts)
         seg = fs.seguse_for(fs.cur_segno)
         seg.flags = (seg.flags & ~SEG_CLEAN) | SEG_DIRTY
         seg.lastmod = self.actor.time

@@ -1,0 +1,35 @@
+"""HL008 fixture: per-block data-path copies (never imported)."""
+
+
+def bad_per_block_loops(actor, disk, store, nblocks, blkno, datas):
+    out = []
+    for i in range(nblocks):
+        out.append(disk.read(actor, blkno + i, 1))        # finding
+    for i in range(nblocks):
+        store.write(blkno + i, datas[i])                  # finding
+    for i in range(0, nblocks, 4):
+        if store.is_written(blkno + i):                   # finding
+            out.append(store.read_refs(blkno + i, 1))     # finding
+    return out
+
+
+def bad_store_internals(fs, store):
+    n = len(store._blocks)                                # finding
+    runs = fs.disk.store._extents                         # finding
+    starts = store._starts                                # finding
+    return n, runs, starts
+
+
+def good_vectored_and_unrelated(actor, disk, store, table, nblocks, blkno):
+    refs = disk.read_refs(actor, blkno, nblocks)          # ok: one call
+    disk.write_refs(actor, blkno, refs)                   # ok: one call
+    image = store.read(blkno, nblocks)                    # ok: not in a loop
+    for i in range(nblocks):
+        table.read(i)                                     # ok: not a store
+    for row in table.rows:
+        store.write(blkno, image)                         # ok: not range()
+    for _ in range(3):
+        disk.write_refs(actor, blkno, refs)               # ok: whole image,
+        # the loop variable never indexes the transfer (per-replica shape)
+    blocks = table._blocks                                # ok: not a store
+    return refs, blocks

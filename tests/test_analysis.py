@@ -24,6 +24,7 @@ from repro.analysis.rules.hl004_trace_events import HL004TraceEvents
 from repro.analysis.rules.hl005_metric_labels import HL005MetricLabels
 from repro.analysis.rules.hl006_exceptions import HL006ExceptionDiscipline
 from repro.analysis.rules.hl007_sched_submission import HL007SchedSubmission
+from repro.analysis.rules.hl008_datapath_copy import HL008DatapathCopy
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 
@@ -99,6 +100,19 @@ class TestRuleFixtures:
         result = analyze("hl007_sched.py", [rule])
         assert result.findings == []
 
+    def test_hl008_datapath_copy(self):
+        result = analyze("hl008_datapath.py", [HL008DatapathCopy()])
+        assert lines_of(result, "HL008") == [7, 9, 11, 12, 17, 18, 19]
+        # Vectored single calls, non-store receivers, and non-range
+        # loops all stay clean.
+        assert all(f.line <= 19 for f in result.findings)
+
+    def test_hl008_exempt_inside_blockdev(self):
+        # The stores themselves legitimately hold the representation.
+        rule = HL008DatapathCopy(exempt=("hl008_datapath",))
+        result = analyze("hl008_datapath.py", [rule])
+        assert result.findings == []
+
 
 # ---------------------------------------------------------------------------
 # Suppression (# noqa) semantics
@@ -125,7 +139,7 @@ class TestNoqa:
 class TestFramework:
     def test_all_rules_have_distinct_codes_and_docs(self):
         codes = [r.code for r in ALL_RULES]
-        assert len(set(codes)) == len(codes) == 7
+        assert len(set(codes)) == len(codes) == 8
         for rule_cls in ALL_RULES:
             assert rule_cls.code.startswith("HL")
             assert rule_cls.name

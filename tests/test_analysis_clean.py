@@ -23,11 +23,13 @@ def test_src_tree_is_clean():
 
 def test_suppression_budget():
     result = run_paths([SRC])
-    # Table-5 raw-device benchmark is the only sanctioned suppression
-    # site (bench/ measures the bare device on purpose).
-    assert len(result.suppressed) == 3
+    # bench/ is the only sanctioned suppression site: the Table-5
+    # benchmark measures the bare device on purpose (HL002, and its
+    # dd-style 1 MB loop shape trips HL008), and the perf harness
+    # measures host wall-clock time on purpose (HL001).
+    assert len(result.suppressed) == 8
     assert all("bench" in f.path for f in result.suppressed)
-    assert all(f.code == "HL002" for f in result.suppressed)
+    assert {f.code for f in result.suppressed} == {"HL001", "HL002", "HL008"}
 
 
 def test_no_suppressions_in_core_or_lfs():

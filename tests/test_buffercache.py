@@ -95,6 +95,27 @@ class TestBufferCache:
         assert bc.peek((1, 0)) is not None
         assert bc.peek((1, 1)) is None
 
+    def test_dirty_count_matches_scan(self):
+        """The incremental counter must track a full scan exactly."""
+        import random
+        rng = random.Random(0xD187)
+        bc = BufferCache(capacity_bytes=16 * BLOCK_SIZE)
+        for step in range(2000):
+            op = rng.randrange(5)
+            key = (rng.randrange(3), rng.randrange(8))
+            if op == 0:
+                bc.put(key, block(step), dirty=True)
+            elif op == 1:
+                bc.put(key, block(step), dirty=False)
+            elif op == 2:
+                bc.mark_clean(key)
+            elif op == 3:
+                bc.invalidate(key)
+            else:
+                bc.invalidate_inode(key[0])
+            scan = sum(1 for b in bc._bufs.values() if b.dirty)
+            assert bc.dirty_count() == scan, f"diverged at step {step}"
+
     def test_needs_flush(self):
         bc = BufferCache(capacity_bytes=10 * BLOCK_SIZE)
         assert not bc.needs_flush(0.5)

@@ -1,0 +1,230 @@
+"""Unit + property tests: the extent-run data store.
+
+The ExtentStore must be observationally identical to the simple
+per-block dict (``BlockStore``) under every mixture of aligned writes,
+vectored writes, reads, discards, and occupancy queries — including the
+``written_blocks()`` occupancy count the migrator's accounting uses.
+The property test drives both the store and a reference dict model with
+one seeded RNG and compares after every operation.
+"""
+
+import random
+
+import pytest
+
+from repro.blockdev.base import BlockStore
+from repro.blockdev.datapath import (
+    ExtentRef,
+    materialize_refs,
+    ref_of,
+)
+from repro.blockdev.extent import ExtentStore
+from repro.errors import AddressError, InvalidArgument
+
+BS = 512  # small block size keeps the property test fast
+CAP = 128
+
+
+def blk(seed: int, nblocks: int = 1) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.getrandbits(8) for _ in range(BS * nblocks))
+
+
+def fresh() -> ExtentStore:
+    return ExtentStore(CAP, BS)
+
+
+class TestExtentStoreBasics:
+    def test_unwritten_reads_zero(self):
+        st = fresh()
+        assert st.read(0, 4) == bytes(4 * BS)
+        assert not st.is_written(0)
+        assert st.written_blocks() == 0
+
+    def test_write_read_roundtrip(self):
+        st = fresh()
+        data = blk(1, 3)
+        st.write(5, data)
+        assert st.read(5, 3) == data
+        assert st.read(4, 5) == bytes(BS) + data + bytes(BS)
+        assert st.written_blocks() == 3
+
+    def test_exact_extent_read_is_zero_copy(self):
+        # Reading back exactly one adopted bytes extent returns the very
+        # same object — the aligned fast path copies nothing.
+        st = fresh()
+        data = blk(2, 4)
+        st.write(8, data)
+        assert st.read(8, 4) is data
+
+    def test_overwrite_splits_extent(self):
+        st = fresh()
+        st.write(0, blk(3, 8))
+        mid = blk(4, 2)
+        st.write(3, mid)
+        assert st.read(3, 2) == mid
+        assert st.read(0, 8) == blk(3, 8)[:3 * BS] + mid + blk(3, 8)[5 * BS:]
+        assert st.written_blocks() == 8
+
+    def test_adjacent_writes_coalesce_on_read(self):
+        st = fresh()
+        st.write(0, blk(5, 2))
+        st.write(2, blk(6, 2))
+        joined = st.read(0, 4)
+        assert joined == blk(5, 2) + blk(6, 2)
+        # Coalesce-on-read stored the joined image back: a second read
+        # of the same hole-free range is now the zero-copy fast path.
+        assert st.read(0, 4) is joined
+
+    def test_no_coalesce_across_holes(self):
+        st = fresh()
+        st.write(0, blk(7))
+        st.write(2, blk(8))
+        image = st.read(0, 3)
+        assert image == blk(7) + bytes(BS) + blk(8)
+        assert not st.is_written(1)  # the hole must survive the read
+
+    def test_discard(self):
+        st = fresh()
+        st.write(0, blk(9, 6))
+        st.discard(2, 2)
+        assert st.read(0, 6) == (blk(9, 6)[:2 * BS] + bytes(2 * BS)
+                                 + blk(9, 6)[4 * BS:])
+        assert st.written_in_range(0, 6) == 4
+        assert st.written_blocks() == 4
+
+    def test_out_of_range_rejected(self):
+        st = fresh()
+        with pytest.raises(AddressError):
+            st.read(CAP - 1, 2)
+        with pytest.raises(AddressError):
+            st.write(CAP, blk(0))
+
+    def test_unaligned_write_rejected(self):
+        st = fresh()
+        with pytest.raises(InvalidArgument):
+            st.write(0, b"x" * (BS + 1))
+
+
+class TestVectoredPath:
+    def test_write_refs_adopts_without_copy(self):
+        st = fresh()
+        seg = blk(10, 4)
+        st.write_refs(0, [ExtentRef(seg, 0, len(seg))])
+        assert st.read(0, 4) is seg
+
+    def test_contiguous_refs_merge_into_one_extent(self):
+        # Refs over adjacent regions of the same buffer free-merge: the
+        # later whole-range read is the single-extent fast path.
+        st = fresh()
+        seg = blk(11, 8)
+        st.write_refs(0, [ExtentRef(seg, 0, 4 * BS),
+                          ExtentRef(seg, 4 * BS, 4 * BS)])
+        assert st.read(0, 8) == seg
+        assert st.written_blocks() == 8
+
+    def test_read_refs_zero_fill_holes(self):
+        st = fresh()
+        st.write(1, blk(12))
+        refs = st.read_refs(0, 3)
+        assert materialize_refs(refs) == bytes(BS) + blk(12) + bytes(BS)
+
+    def test_read_refs_borrow_not_copy(self):
+        st = fresh()
+        data = blk(13, 2)
+        st.write(4, data)
+        (ref,) = st.read_refs(4, 2)
+        assert ref.buf is data and ref.start == 0 and ref.nbytes == 2 * BS
+
+    def test_writev_matches_scalar_writes(self):
+        st, ref_st = fresh(), fresh()
+        parts = [blk(14, 2), blk(15), blk(16, 3)]
+        st.writev(2, parts)
+        ref_st.write(2, b"".join(parts))
+        assert st.read(0, CAP // 2) == ref_st.read(0, CAP // 2)
+
+    def test_readv_views(self):
+        st = fresh()
+        st.write(0, blk(17, 2))
+        views = st.readv(0, 2)
+        assert b"".join(views) == blk(17, 2)
+
+    def test_ref_of_roundtrip(self):
+        data = blk(18)
+        ref = ref_of(data)
+        assert bytes(ref.view()) == data
+
+
+class DictModel:
+    """Reference model: one bytes object per written block."""
+
+    def __init__(self):
+        self.blocks = {}
+
+    def write(self, blkno, data):
+        for i in range(len(data) // BS):
+            self.blocks[blkno + i] = bytes(data[i * BS:(i + 1) * BS])
+
+    def read(self, blkno, nblocks):
+        return b"".join(self.blocks.get(blkno + i, bytes(BS))
+                        for i in range(nblocks))
+
+    def discard(self, blkno, nblocks):
+        for i in range(nblocks):
+            self.blocks.pop(blkno + i, None)
+
+    def is_written(self, blkno):
+        return blkno in self.blocks
+
+    def written_in_range(self, blkno, nblocks):
+        return sum(1 for i in range(nblocks) if blkno + i in self.blocks)
+
+    def written_blocks(self):
+        return len(self.blocks)
+
+
+@pytest.mark.parametrize("seed", [0xE57E47, 0xBEEF01, 0x5E601])
+@pytest.mark.parametrize("store_cls", [ExtentStore, BlockStore])
+def test_store_equivalent_to_dict_model(store_cls, seed):
+    """Random op sequences: the store and the dict model never diverge."""
+    rng = random.Random(seed)
+    st = store_cls(CAP, BS)
+    model = DictModel()
+    for step in range(1500):
+        op = rng.randrange(7)
+        blkno = rng.randrange(CAP)
+        nblocks = rng.randrange(1, min(9, CAP - blkno + 1))
+        if op == 0:
+            data = blk(rng.getrandbits(30), nblocks)
+            st.write(blkno, data)
+            model.write(blkno, data)
+        elif op == 1:
+            data = blk(rng.getrandbits(30), nblocks)
+            st.write_refs(blkno, [ExtentRef(data, 0, len(data))])
+            model.write(blkno, data)
+        elif op == 2:
+            split = rng.randrange(nblocks * BS + 1)
+            data = blk(rng.getrandbits(30), nblocks)
+            refs = [r for r in (ExtentRef(data, 0, split),
+                                ExtentRef(data, split, len(data) - split))
+                    if r.nbytes]
+            st.write_refs(blkno, refs)
+            model.write(blkno, data)
+        elif op == 3:
+            assert st.read(blkno, nblocks) == model.read(blkno, nblocks), \
+                f"read diverged at step {step}"
+        elif op == 4:
+            st.discard(blkno, nblocks)
+            model.discard(blkno, nblocks)
+        elif op == 5:
+            got = materialize_refs(st.read_refs(blkno, nblocks))
+            assert got == model.read(blkno, nblocks), \
+                f"read_refs diverged at step {step}"
+        else:
+            assert st.is_written(blkno) == model.is_written(blkno)
+            assert (st.written_in_range(blkno, nblocks)
+                    == model.written_in_range(blkno, nblocks))
+        assert st.written_blocks() == model.written_blocks(), \
+            f"occupancy diverged at step {step}"
+    # Final sweep: every block position agrees.
+    assert st.read(0, CAP) == model.read(0, CAP)

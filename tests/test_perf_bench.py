@@ -1,0 +1,77 @@
+"""The wall-clock perf harness: structure and the copy-ledger guarantee.
+
+Wall-clock rates vary with the host, so the tests only sanity-check
+their presence; the ``datapath_bytes_copied_total`` counters come from
+the deterministic virtual-time run and are asserted exactly: the extent
+path must beat the per-block baseline by at least the 5× the design
+targets, and the A/B must not leak its store-mode switch.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.perf import run_perf, main as perf_main
+from repro.blockdev.datapath import MODE_BLOCKDICT, MODE_EXTENT, store_mode
+
+MODE_KEYS = (
+    "seg_write_segments_per_sec",
+    "seg_read_segments_per_sec",
+    "cleaner_segments_per_sec",
+    "cleaner_segments_cleaned",
+    "migrate_fetch_segments_per_sec",
+    "migrate_fetch_segments",
+    "datapath_bytes_copied_total",
+    "bytes_copied_per_segment",
+    "wall_seconds_total",
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_perf(quick=True)
+
+
+def test_report_structure(results):
+    assert results["benchmark"] == "segio"
+    assert results["quick"] is True
+    assert set(results["modes"]) == {MODE_EXTENT, MODE_BLOCKDICT}
+    for stats in results["modes"].values():
+        for key in MODE_KEYS:
+            assert key in stats, f"missing {key}"
+            assert stats[key] >= 0
+
+
+def test_copy_reduction_at_least_5x(results):
+    extent = results["modes"][MODE_EXTENT]["datapath_bytes_copied_total"]
+    baseline = results["modes"][MODE_BLOCKDICT]["datapath_bytes_copied_total"]
+    assert extent > 0, "the staging gather is a real copy and must count"
+    assert results["copied_reduction_factor"] == baseline / extent
+    assert results["copied_reduction_factor"] >= 5.0
+
+
+def test_extent_copies_only_the_staging_gather(results):
+    # The migrate→fetch round trip's only extent-mode copy is the append
+    # into the staging buffer: at most ~1.1 segment-sizes per segment
+    # (summary blocks and inode tails ride along).
+    stats = results["modes"][MODE_EXTENT]
+    seg_bytes = 1024 * 1024
+    assert stats["bytes_copied_per_segment"] <= 1.1 * seg_bytes
+
+
+def test_benchmarks_did_real_work(results):
+    for stats in results["modes"].values():
+        assert stats["migrate_fetch_segments"] >= results["file_mb"]
+        assert stats["cleaner_segments_cleaned"] > 0
+
+
+def test_mode_switch_does_not_leak(results):
+    assert store_mode() == MODE_EXTENT
+
+
+def test_main_writes_json(tmp_path):
+    out = tmp_path / "BENCH_segio.json"
+    assert perf_main(quick=True, output_path=str(out)) == 0
+    data = json.loads(out.read_text())
+    assert data["quick"] is True
+    assert data["copied_reduction_factor"] >= 5.0

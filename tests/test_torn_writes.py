@@ -37,6 +37,11 @@ class TornWriteDisk:
         self.disk.write(actor, blkno, data)
         self._last_write = (blkno, len(data) // BLOCK_SIZE)
 
+    def writev(self, actor, blkno, parts):
+        self.disk.writev(actor, blkno, parts)
+        nblocks = sum(len(p) for p in parts) // BLOCK_SIZE
+        self._last_write = (blkno, nblocks)
+
     def tear_last_write(self, keep_blocks: int) -> None:
         """Pretend only the first ``keep_blocks`` blocks hit the medium."""
         if self._last_write is None:
