@@ -194,7 +194,8 @@ def block_views(refs: Sequence[ExtentRef], block_size: int) -> List[Buffer]:
         whole = (ref.nbytes - off) // block_size
         if whole:
             if (whole == 1 and off == 0 and isinstance(ref.buf, bytes)
-                    and ref.start == 0 and ref.nbytes == block_size):
+                    and ref.start == 0 and ref.nbytes == block_size
+                    and len(ref.buf) == block_size):
                 out.append(ref.buf)  # the common adopted-block case
                 off = block_size
             else:

@@ -189,7 +189,7 @@ def line_write(disk: BlockDevice, actor: Actor, daddr: int, data: Buffer,
     Counterpart of :func:`line_read`; see its docstring.
     """
     if aspace is not None:
-        nblocks = max(1, len(data) // BLOCK_SIZE)
+        nblocks = max(1, (len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE)
         _check_disk_range(aspace, daddr, nblocks)
     disk.write(actor, daddr, data)
 
@@ -211,7 +211,8 @@ def line_write_refs(disk: BlockDevice, actor: Actor, daddr: int,
     mutate the referenced ranges after the call (the disk store adopts
     them by reference)."""
     if aspace is not None:
-        nblocks = max(1, refs_nbytes(refs) // BLOCK_SIZE)
+        nbytes = refs_nbytes(refs)
+        nblocks = max(1, (nbytes + BLOCK_SIZE - 1) // BLOCK_SIZE)
         _check_disk_range(aspace, daddr, nblocks)
     disk.write_refs(actor, daddr, refs)
 

@@ -53,9 +53,13 @@ class StagingBuilder:
                 for i in range(self._nblocks)]
 
     def _append(self, data: Buffer) -> None:
+        if len(data) != BLOCK_SIZE:
+            raise InvalidArgument(
+                f"staged block must be exactly {BLOCK_SIZE} bytes, "
+                f"got {len(data)}")
         off = self._nblocks * BLOCK_SIZE
-        self._buf[off:off + len(data)] = data
-        count_copy(len(data))
+        self._buf[off:off + BLOCK_SIZE] = data
+        count_copy(BLOCK_SIZE)
         self._nblocks += 1
 
     # -- geometry ---------------------------------------------------------------
@@ -102,13 +106,13 @@ class StagingBuilder:
         if not self.room_for_block(inum):
             raise InvalidArgument("staging segment is full")
         daddr = self.tseg_base + 1 + self._nblocks
+        self._append(data)  # validates size; summary untouched on failure
         if self.summary.finfos and self.summary.finfos[-1].ino == inum:
             fi = self.summary.finfos[-1]
             fi.blocks.append(lbn)
             fi.lastlength = lastlength
         else:
             self.summary.finfos.append(FileInfo(inum, lastlength, [lbn]))
-        self._append(data)
         return daddr
 
     def add_inode_block(self, inodes: List[Inode]) -> int:

@@ -4,9 +4,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.blockdev import profiles
-from repro.core.addressing import AddressSpace, BlockMapDriver, TOTAL_SEGS_32BIT
+from repro.blockdev.datapath import ExtentRef
+from repro.core.addressing import (AddressSpace, BlockMapDriver,
+                                   TOTAL_SEGS_32BIT, line_write,
+                                   line_write_refs)
 from repro.errors import AddressError, InvalidArgument
-from repro.lfs.constants import BLOCKS_PER_SEG, RESERVED_BLOCKS
+from repro.lfs.constants import BLOCK_SIZE, BLOCKS_PER_SEG, RESERVED_BLOCKS
 from repro.sim.actor import Actor
 from repro.util.units import MB
 
@@ -110,6 +113,47 @@ class TestAddressSpace:
         daddr = a.seg_base(segno)
         assert a.segno_of(daddr) == segno
         assert a.is_tertiary_segno(segno)
+
+
+class _RecordingDisk:
+    """Stand-in device: records writes that pass the address-space guard."""
+
+    def __init__(self):
+        self.calls = []
+
+    def write(self, actor, daddr, data):
+        self.calls.append(("write", daddr, len(data)))
+
+    def write_refs(self, actor, daddr, refs):
+        self.calls.append(("write_refs", daddr))
+
+
+class TestLineRangeCheck:
+    def test_unaligned_write_length_counts_ceiling_blocks(self):
+        # An unaligned total must round *up* when checking the disk
+        # range: one extra byte past the last disk block leaves the
+        # disk region and must be rejected before touching the device.
+        a = aspace()
+        disk = _RecordingDisk()
+        actor = Actor("a")
+        last = RESERVED_BLOCKS + 100 * BLOCKS_PER_SEG - 1
+        line_write(disk, actor, last, b"\xaa" * BLOCK_SIZE, a)
+        with pytest.raises(AddressError):
+            line_write(disk, actor, last, b"\xaa" * (BLOCK_SIZE + 1), a)
+        assert disk.calls == [("write", last, BLOCK_SIZE)]
+
+    def test_unaligned_refs_length_counts_ceiling_blocks(self):
+        a = aspace()
+        disk = _RecordingDisk()
+        actor = Actor("a")
+        last = RESERVED_BLOCKS + 100 * BLOCKS_PER_SEG - 1
+        buf = b"\xbb" * (BLOCK_SIZE + 1)
+        line_write_refs(disk, actor, last,
+                        [ExtentRef(buf, 0, BLOCK_SIZE)], a)
+        with pytest.raises(AddressError):
+            line_write_refs(disk, actor, last,
+                            [ExtentRef(buf, 0, BLOCK_SIZE + 1)], a)
+        assert disk.calls == [("write_refs", last)]
 
 
 class TestBlockMapDriver:

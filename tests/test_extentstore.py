@@ -15,6 +15,7 @@ import pytest
 from repro.blockdev.base import BlockStore
 from repro.blockdev.datapath import (
     ExtentRef,
+    block_views,
     materialize_refs,
     ref_of,
 )
@@ -153,6 +154,50 @@ class TestVectoredPath:
         data = blk(18)
         ref = ref_of(data)
         assert bytes(ref.view()) == data
+
+
+class TestBlockViews:
+    def test_whole_bytes_block_passes_through(self):
+        data = blk(20)
+        (out,) = block_views([ref_of(data)], BS)
+        assert out is data  # the adopted-block fast path
+
+    def test_block_ref_into_larger_buffer_is_truncated(self):
+        # Regression: a one-block ref at offset 0 of a multi-block bytes
+        # buffer must yield exactly one block, not the whole buffer.
+        big = blk(21, 10)
+        (out,) = block_views([ExtentRef(big, 0, BS)], BS)
+        assert len(out) == BS
+        assert bytes(out) == big[:BS]
+
+    def test_block_ref_into_larger_buffer_via_store(self):
+        # End-to-end shape of the migrator bug: a single-block read_refs
+        # over a larger coalesced extent.
+        st = fresh()
+        seg = blk(22, 10)
+        st.write(0, seg)
+        refs = st.read_refs(0, 1)
+        views = block_views(refs, BS)
+        assert [len(v) for v in views] == [BS]
+        assert bytes(views[0]) == seg[:BS]
+
+    def test_multiblock_ref_splits(self):
+        data = blk(23, 3)
+        views = block_views([ref_of(data)], BS)
+        assert [len(v) for v in views] == [BS, BS, BS]
+        assert b"".join(bytes(v) for v in views) == data
+
+    def test_straddling_refs_joined(self):
+        data = blk(24, 2)
+        views = block_views([ExtentRef(data, 0, BS // 2),
+                             ExtentRef(data, BS // 2, 2 * BS - BS // 2)],
+                            BS)
+        assert [len(v) for v in views] == [BS, BS]
+        assert b"".join(bytes(v) for v in views) == data
+
+    def test_unaligned_total_rejected(self):
+        with pytest.raises(ValueError):
+            block_views([ref_of(blk(25) + b"x")], BS)
 
 
 class DictModel:

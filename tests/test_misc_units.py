@@ -56,6 +56,32 @@ class TestErrorsHierarchy:
         assert issubclass(CacheMiss, MigrationError)
 
 
+class TestStagingAppendStrict:
+    def _builder(self):
+        from types import SimpleNamespace
+
+        from repro.core.staging import StagingBuilder
+        fs = SimpleNamespace(
+            config=SimpleNamespace(blocks_per_seg=32, summary_size=512),
+            aspace=SimpleNamespace(seg_base=lambda segno: segno * 32),
+        )
+        return StagingBuilder(fs, tsegno=200, disk_segno=1)
+
+    def test_exact_block_accepted(self):
+        from repro.errors import InvalidArgument
+        b = self._builder()
+        b.add_block(1, 0, b"\xaa" * BLOCK_SIZE)
+        assert bytes(b.blocks[0]) == b"\xaa" * BLOCK_SIZE
+        # Oversized or undersized payloads corrupt the staged image
+        # silently if not rejected at the append boundary.
+        with pytest.raises(InvalidArgument):
+            b.add_block(1, 1, b"\xbb" * (BLOCK_SIZE + 1))
+        with pytest.raises(InvalidArgument):
+            b.add_block(1, 1, b"\xbb" * (BLOCK_SIZE - 1))
+        # The failed appends consumed no payload slot.
+        assert len(b.blocks) == 1
+
+
 class TestBmapCached:
     def test_direct_pointers_always_resolve(self, lfs):
         lfs.write_path("/f", b"x" * (2 * BLOCK_SIZE))
