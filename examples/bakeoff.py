@@ -22,9 +22,9 @@ import random
 from repro.blockdev import profiles
 from repro.blockdev.bus import SCSIBus
 from repro.core.daemon import AutoMigrationDaemon
-from repro.core.highlight import HighLightFS
-from repro.core.migrator import Migrator
-from repro.core.policies import STPPolicy
+from repro import HighLightFS
+from repro import Migrator
+from repro import STPPolicy
 from repro.ffs.filesystem import FFS, FFSConfig
 from repro.footprint.robot import JukeboxFootprint
 from repro.lfs.filesystem import LFS

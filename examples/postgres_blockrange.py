@@ -19,8 +19,8 @@ Run:  python3 examples/postgres_blockrange.py
 """
 
 from repro.bench import harness
-from repro.core.migrator import Migrator
-from repro.core.policies import AccessRangeTracker, BlockRangePolicy
+from repro import Migrator
+from repro import AccessRangeTracker, BlockRangePolicy
 from repro.util.units import MB, fmt_time
 from repro.workloads.database import DatabaseWorkload, PAGE
 

@@ -67,7 +67,7 @@ def main() -> None:
     # 5. Crash and remount: everything (including the cache directory)
     #    is rebuilt from the media.
     fs.checkpoint()
-    from repro.core.highlight import HighLightFS
+    from repro import HighLightFS
     fs2 = HighLightFS.mount_highlight(
         bed.disks[0] if len(bed.disks) == 1 else bed.disks,
         bed.footprint)

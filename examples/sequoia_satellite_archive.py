@@ -19,8 +19,8 @@ Run:  python3 examples/sequoia_satellite_archive.py
 import os
 
 from repro.bench import harness
-from repro.core.migrator import Migrator
-from repro.core.policies import NamespacePolicy
+from repro import Migrator
+from repro import NamespacePolicy
 from repro.core.prefetch import UnitPrefetch
 from repro.util.units import KB, MB, fmt_time
 

@@ -14,8 +14,8 @@ Run:  python3 examples/simulation_checkpoints.py
 """
 
 from repro.bench import harness
-from repro.core.migrator import Migrator
-from repro.core.policies import STPPolicy
+from repro import Migrator
+from repro import STPPolicy
 from repro.util.units import MB, fmt_time
 from repro.workloads.checkpoints import CheckpointWorkload
 

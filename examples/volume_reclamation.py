@@ -18,8 +18,8 @@ import os
 
 from repro.bench import harness
 from repro.core.daemon import AutoMigrationDaemon
-from repro.core.migrator import Migrator
-from repro.core.policies import STPPolicy
+from repro import Migrator
+from repro import STPPolicy
 from repro.core.rearrange import SegmentRearranger
 from repro.core.tcleaner import TertiaryCleaner
 from repro.util.units import KB, MB, fmt_time

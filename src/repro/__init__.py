@@ -52,7 +52,55 @@ b'tertiary-bound bytes'
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "sim", "blockdev", "footprint", "lfs", "ffs", "core", "workloads",
-    "bench", "errors", "util",
+#: Curated re-exports: the assembled filesystem, the migrator, the
+#: policy zoo, and the fault/recovery subsystem are importable straight
+#: from ``repro`` (resolved lazily via PEP 562 so importing ``repro``
+#: stays cheap and cycle-free — nearly every submodule does
+#: ``from repro import obs`` at import time).
+_EXPORTS = {
+    # the assembled filesystem
+    "HighLightFS": "repro.core.highlight",
+    "HighLightConfig": "repro.core.highlight",
+    # migration machinery
+    "Migrator": "repro.core.migrator",
+    "MigrationPipeline": "repro.core.migrator",
+    "ReplicaManager": "repro.core.replicas",
+    # the policy zoo
+    "STPPolicy": "repro.core.policies",
+    "AccessTimePolicy": "repro.core.policies",
+    "NamespacePolicy": "repro.core.policies",
+    "BlockRangePolicy": "repro.core.policies",
+    "AccessRangeTracker": "repro.core.policies",
+    "LRUEjection": "repro.core.policies",
+    "RandomEjection": "repro.core.policies",
+    "LeastWorthyEjection": "repro.core.policies",
+    # fault injection & recovery
+    "FaultPlan": "repro.faults",
+    "FaultSpec": "repro.faults",
+    "FaultInjector": "repro.faults",
+    "FaultManager": "repro.faults",
+    "RetryPolicy": "repro.faults",
+    "RetryClassPolicy": "repro.faults",
+    "RepairDaemon": "repro.faults",
+    "VolumeHealth": "repro.faults",
+    "HealthRegistry": "repro.faults",
+}
+
+__all__ = sorted(_EXPORTS) + [
+    "sim", "blockdev", "footprint", "faults", "lfs", "ffs", "core",
+    "workloads", "bench", "errors", "obs", "util",
 ]
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value  # cache for the next access
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

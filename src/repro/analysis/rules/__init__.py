@@ -16,6 +16,7 @@ from repro.analysis.rules.hl005_metric_labels import HL005MetricLabels
 from repro.analysis.rules.hl006_exceptions import HL006ExceptionDiscipline
 from repro.analysis.rules.hl007_sched_submission import HL007SchedSubmission
 from repro.analysis.rules.hl008_datapath_copy import HL008DatapathCopy
+from repro.analysis.rules.hl009_retry_discipline import HL009RetryDiscipline
 
 ALL_RULES = (
     HL001ClockPurity,
@@ -26,6 +27,7 @@ ALL_RULES = (
     HL006ExceptionDiscipline,
     HL007SchedSubmission,
     HL008DatapathCopy,
+    HL009RetryDiscipline,
 )
 
 __all__ = ["ALL_RULES", "default_rules"] + [cls.__name__ for cls in ALL_RULES]

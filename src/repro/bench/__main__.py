@@ -31,11 +31,11 @@ RUNNERS = {
 
 def main(argv: list[str]) -> int:
     args = list(argv)
+    quick = "--quick" in args
+    if quick:
+        args.remove("--quick")
     if "--perf" in args:
         args.remove("--perf")
-        quick = "--quick" in args
-        if quick:
-            args.remove("--quick")
         if args:
             print(f"--perf takes no experiments, got: {', '.join(args)}")
             return 2
@@ -66,7 +66,7 @@ def main(argv: list[str]) -> int:
     failures = 0
     for name in scenario_names:
         obs.reset()
-        _data, report = scenarios.SCENARIOS[name]()
+        _data, report = scenarios.SCENARIOS[name](quick=quick)
         snap_path = harness.dump_observability(f"scenario_{name}")
         print(report)
         print(f"  observability snapshot: {snap_path}")

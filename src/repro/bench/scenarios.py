@@ -14,6 +14,15 @@ Run it with ``python -m repro.bench --scenario contention``.  The
 run prints mean demand-fetch latency and jukebox mount switches for both
 modes and records them as ``contention_*`` gauges in the observability
 snapshot.
+
+``chaos`` is the fault-injection acceptance run for ``repro.faults``: a
+seeded fault storm (transient media errors, mount failures, a limping
+drive, and one destroyed medium) over a replicated archive, asserting
+zero corruption — every acknowledged byte reads back identical, before
+and after the repair daemon re-homes the dead volume — at least one
+quarantine, and demand p99 latency bounded against the fault-free
+baseline.  ``python -m repro.bench --scenario chaos`` (add ``--quick``
+for the CI-sized run).
 """
 
 from __future__ import annotations
@@ -23,6 +32,11 @@ from typing import Dict, List, Tuple
 from repro import obs
 from repro.bench import harness
 from repro.core.highlight import HighLightConfig
+from repro.core.replicas import ReplicaManager
+from repro.faults import (FaultManager, FaultPlan, FaultSpec,
+                          KIND_DRIVE_TIMEOUT, KIND_MEDIA_DEAD,
+                          KIND_MEDIA_ERROR, KIND_MOUNT_FAILURE,
+                          KIND_SLOW_IO)
 from repro.sched import CLASS_CLEANER, MODE_PASSTHROUGH, MODE_SCHEDULED
 from repro.sim.actor import Actor
 from repro.util.units import MB
@@ -107,9 +121,13 @@ def _run_mode(mode: str) -> Dict[str, float]:
     }
 
 
-def run_contention() -> Tuple[Dict[str, Dict[str, float]], str]:
+def run_contention(quick: bool = False) -> Tuple[Dict[str, Dict[str, float]], str]:
     """Demand fetches vs. background write-outs/cleaner reads, scheduler
-    off (pass-through FIFO) and on; returns (data, report)."""
+    off (pass-through FIFO) and on; returns (data, report).
+
+    ``quick`` is accepted for CLI uniformity; the scenario is already
+    CI-sized.
+    """
     data = {}
     for mode in (MODE_PASSTHROUGH, MODE_SCHEDULED):
         data[mode] = _run_mode(mode)
@@ -143,6 +161,162 @@ def run_contention() -> Tuple[Dict[str, Dict[str, float]], str]:
     return data, "\n".join(lines)
 
 
+# -- chaos: the repro.faults acceptance storm ---------------------------------
+
+_CHAOS_SEED = 2993  # the paper's vintage; any fixed seed replays the storm
+
+
+def _chaos_payload(tag: int, nbytes: int) -> bytes:
+    """Deterministic, volume-spanning, non-trivial file content."""
+    stride = bytes((tag * 53 + j * 17) & 0xFF for j in range(251))
+    return (stride * (nbytes // len(stride) + 1))[:nbytes]
+
+
+def _chaos_files(quick: bool) -> Dict[str, bytes]:
+    file_mb = 2 if quick else 4
+    n_files = 2 if quick else 3
+    return {f"/archive/f{i}.bin": _chaos_payload(i + 1, file_mb * MB)
+            for i in range(n_files)}
+
+
+def _chaos_build(files: Dict[str, bytes]):
+    """A replicated archive on the compact jukebox bed: every migrated
+    segment has one replica on a different volume (copies=1)."""
+    config = HighLightConfig(fault_retry_seed=_CHAOS_SEED)
+    bed = harness.make_highlight(partition_bytes=128 * MB, n_platters=8,
+                                 platter_constraint=4 * MB, config=config)
+    harness.preload_write_volume(bed)
+    replicas = ReplicaManager(bed.fs, copies=1)
+    replicas.install(bed.migrator)
+    fs, app = bed.fs, bed.app
+    fs.mkdir("/archive")
+    for path, payload in files.items():
+        fs.write_path(path, payload)
+    fs.checkpoint()
+    app.sleep(3600)
+    for path in files:
+        bed.migrator.migrate_file(path, app)
+    bed.migrator.flush(app)
+    fs.sched.pump(app)
+    fs.checkpoint()
+    fs.service.flush_cache(app)
+    fs.drop_caches(app, drop_inodes=True)
+    if replicas.replicas_written < len(files):
+        raise RuntimeError(
+            f"chaos bed under-replicated: {replicas.replicas_written} "
+            f"replica segments for {len(files)} files")
+    return bed, replicas
+
+
+def _chaos_plan(bed) -> FaultPlan:
+    """The storm: one destroyed medium under migrated data, plus
+    transient noise everywhere (all draws from one seeded RNG)."""
+    victim = bed.fs.tsegfile.volumes[0].volume_id
+    plan = FaultPlan(seed=_CHAOS_SEED)
+    plan.add(FaultSpec(KIND_MEDIA_DEAD, volume_id=victim, op="read"))
+    plan.add(FaultSpec(KIND_MEDIA_ERROR, op="read", count=4,
+                       probability=0.12))
+    plan.add(FaultSpec(KIND_MOUNT_FAILURE, op="mount", count=2,
+                       probability=0.5, delay=13.5))
+    plan.add(FaultSpec(KIND_DRIVE_TIMEOUT, op="read", count=2,
+                       probability=0.2, delay=2.0))
+    plan.add(FaultSpec(KIND_SLOW_IO, op="read", probability=0.25,
+                       delay=0.4))
+    return plan
+
+
+def _chaos_read_back(bed, files: Dict[str, bytes]) -> Tuple[List[float], int]:
+    """Demand-read every acknowledged byte back in 1 MB chunks; returns
+    (per-chunk latencies, corrupt chunk count)."""
+    fs, app = bed.fs, bed.app
+    latencies: List[float] = []
+    corrupt = 0
+    for path, payload in files.items():
+        for off in range(0, len(payload), MB):
+            t0 = app.time
+            data = fs.read_path(path, off, MB)
+            latencies.append(app.time - t0)
+            if data != payload[off:off + MB]:
+                corrupt += 1
+    return latencies, corrupt
+
+
+def _p99(samples: List[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def run_chaos(quick: bool = False) -> Tuple[Dict[str, float], str]:
+    """Seeded fault storm over a replicated archive vs. the fault-free
+    baseline; returns (data, report) and raises on any violated
+    guarantee (corruption, missing quarantine, unbounded latency)."""
+    files = _chaos_files(quick)
+
+    # Fault-free baseline: identical bed, identical workload, no plan.
+    bed, _ = _chaos_build(files)
+    base_lat, base_bad = _chaos_read_back(bed, files)
+
+    # The storm, then the repair daemon, then a full re-read.
+    bed, replicas = _chaos_build(files)
+    fm = FaultManager(bed.fs, plan=_chaos_plan(bed),
+                      replicas=replicas).install()
+    storm_lat, storm_bad = _chaos_read_back(bed, files)
+    rehomed = fm.repair.run_once(bed.app)
+    after_lat, after_bad = _chaos_read_back(bed, files)
+
+    health = fm.health
+    quarantined = sum(1 for vid in bed.jukebox.volumes
+                      if not health.health_of(vid).serving)
+    data = {
+        "baseline_p99_seconds": _p99(base_lat),
+        "storm_p99_seconds": _p99(storm_lat),
+        "after_repair_p99_seconds": _p99(after_lat),
+        "corrupt_chunks": float(base_bad + storm_bad + after_bad),
+        "faults_injected": float(fm.injector.injected),
+        "retry_attempts": float(fm.retry.attempts),
+        "degraded_reads": float(fm.degraded_reads),
+        "quarantined_volumes": float(quarantined),
+        "segments_rehomed": float(rehomed),
+        "volumes_retired": float(fm.repair.volumes_retired),
+    }
+    for name, value in data.items():
+        obs.gauge(f"chaos_{name}",
+                  "chaos scenario outcome (see repro.bench.scenarios)"
+                  ).set(value)
+
+    bound = 5.0 * data["baseline_p99_seconds"] + 90.0
+    problems = []
+    if data["corrupt_chunks"]:
+        problems.append(f"{data['corrupt_chunks']:.0f} corrupt chunks")
+    if quarantined < 1:
+        problems.append("no volume was quarantined")
+    if fm.injector.injected < 1:
+        problems.append("no fault ever fired")
+    if data["storm_p99_seconds"] > bound:
+        problems.append(
+            f"storm p99 {data['storm_p99_seconds']:.2f}s exceeds bound "
+            f"{bound:.2f}s")
+    if problems:
+        raise RuntimeError("chaos scenario failed: " + "; ".join(problems))
+
+    lines = [
+        "chaos: seeded fault storm over a replicated archive "
+        f"({'quick' if quick else 'full'}, seed {_CHAOS_SEED})",
+        f"  faults injected {data['faults_injected']:.0f}, retries "
+        f"{data['retry_attempts']:.0f}, degraded reads "
+        f"{data['degraded_reads']:.0f}",
+        f"  quarantined {quarantined} volume(s); repair re-homed "
+        f"{data['segments_rehomed']:.0f} segment(s), retired "
+        f"{data['volumes_retired']:.0f} volume(s)",
+        f"  demand p99: baseline {data['baseline_p99_seconds']:.2f} s, "
+        f"storm {data['storm_p99_seconds']:.2f} s (bound {bound:.2f} s), "
+        f"after repair {data['after_repair_p99_seconds']:.2f} s",
+        "  zero corruption: every acknowledged byte read back identical",
+    ]
+    return data, "\n".join(lines)
+
+
 SCENARIOS = {
     "contention": run_contention,
+    "chaos": run_chaos,
 }

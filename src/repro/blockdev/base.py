@@ -39,7 +39,7 @@ class DataStore:
         if blkno < 0 or blkno + nblocks > self.capacity_blocks:
             raise AddressError(
                 f"blocks [{blkno}, {blkno + nblocks}) outside device of "
-                f"{self.capacity_blocks} blocks")
+                f"{self.capacity_blocks} blocks", blkno=blkno)
 
     def _check_aligned(self, nbytes: int) -> None:
         if nbytes % self.block_size != 0:

@@ -21,6 +21,7 @@ from repro.blockdev.datapath import (Buffer, ExtentRef, materialize_refs,
                                      ref_of)
 from repro.errors import (DriveBusy, EndOfMedium, NoSuchVolume,
                           ReadOnlyMedium, VolumeNotLoaded)
+from repro.faults.health import VolumeHealth
 from repro.sim.actor import Actor
 from repro.sim.resources import TimelineResource
 from repro.util.lru import LRUTracker
@@ -50,8 +51,23 @@ class RemovableVolume:
         #: Set by HighLight when the drive reports end-of-medium.
         self.marked_full = False
         self.load_count = 0
-        #: Fault injection: a failed volume raises MediaFailure on I/O.
-        self.failed = False
+        #: Health state machine (see docs/FAULTS.md); QUARANTINED and
+        #: RETIRED volumes raise MediaFailure on I/O.
+        self.health = VolumeHealth.ONLINE
+
+    @property
+    def failed(self) -> bool:
+        """Deprecated alias: True when the volume no longer serves I/O.
+
+        Kept for callers predating :class:`~repro.faults.VolumeHealth`;
+        new code should read :attr:`health` directly.
+        """
+        return not self.health.serving
+
+    @failed.setter
+    def failed(self, value: bool) -> None:
+        self.health = (VolumeHealth.QUARANTINED if value
+                       else VolumeHealth.ONLINE)
 
     def inject_failure(self, t: float = 0.0, reason: str = "media_failure"
                        ) -> None:
@@ -61,9 +77,9 @@ class RemovableVolume:
         :class:`~repro.errors.MediaFailure`.  ``t`` is the virtual time
         of the injection, stamped onto the emitted trace event.
         """
-        self.failed = True
-        obs.counter("faults_injected_total",
-                    "faults injected by the test/fault harness",
+        self.health = VolumeHealth.QUARANTINED
+        obs.counter("fault_injected_total",
+                    "faults injected by the fault plan",
                     ("kind",)).labels(kind=reason).inc()
         obs.event(obs.EV_FAULT_INJECTED, t, kind=reason,
                   volume=self.volume_id)
@@ -99,7 +115,9 @@ class Drive(ABC):
         if self.loaded.failed:
             from repro.errors import MediaFailure
             raise MediaFailure(
-                f"volume {self.loaded.volume_id} has failed")
+                f"volume {self.loaded.volume_id} has failed "
+                f"({self.loaded.health.value})",
+                volume_id=self.loaded.volume_id)
         return self.loaded
 
     def _pre_write(self, volume: RemovableVolume, blkno: int,
@@ -109,7 +127,8 @@ class Drive(ABC):
             raise EndOfMedium(
                 f"volume {volume.volume_id}: write of {nblocks} blocks at "
                 f"{blkno} passes effective capacity "
-                f"{volume.effective_capacity_blocks}")
+                f"{volume.effective_capacity_blocks}",
+                volume_id=volume.volume_id, blkno=blkno)
         self._check_write(volume, blkno, nblocks)
 
     def _check_write(self, volume: RemovableVolume, blkno: int,
@@ -120,7 +139,8 @@ class Drive(ABC):
                          if volume.store.is_written(blkno + i))
             raise ReadOnlyMedium(
                 f"volume {volume.volume_id} block {blkno + first} "
-                "already written (WORM)")
+                "already written (WORM)",
+                volume_id=volume.volume_id, blkno=blkno + first)
 
     @abstractmethod
     def read(self, actor: Actor, blkno: int, nblocks: int) -> bytes:
@@ -172,13 +192,17 @@ class Jukebox:
         self.robot = TimelineResource(f"{name}.robot")
         self.swap_count = 0
         self._drive_lru: LRUTracker[int] = LRUTracker()
+        #: Optional :class:`repro.faults.FaultInjector` consulted before
+        #: each actual media swap (mount-failure injection).
+        self.fault_injector = None
 
     # -- inventory ----------------------------------------------------------
 
     def volume(self, volume_id: int) -> RemovableVolume:
         vol = self.volumes.get(volume_id)
         if vol is None:
-            raise NoSuchVolume(f"no volume {volume_id} in {self.name}")
+            raise NoSuchVolume(f"no volume {volume_id} in {self.name}",
+                               volume_id=volume_id)
         return vol
 
     def drive_holding(self, volume_id: int) -> Optional[int]:
@@ -218,6 +242,8 @@ class Jukebox:
             self._drive_lru.touch(held)
             return held
         self.volume(volume_id)  # existence check
+        if self.fault_injector is not None:
+            self.fault_injector.on_mount(actor, volume_id)
         idx = self._choose_drive(drive_index)
         drive = self.drives[idx]
         self.robot.occupy(actor, 0.0)  # serialise on the picker

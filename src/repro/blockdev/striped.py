@@ -44,7 +44,7 @@ class ConcatDevice(BlockDevice):
         if blkno < 0 or blkno >= self.capacity_blocks:
             raise AddressError(
                 f"block {blkno} outside concat device of "
-                f"{self.capacity_blocks} blocks")
+                f"{self.capacity_blocks} blocks", blkno=blkno)
         for idx in range(len(self.components) - 1, -1, -1):
             if blkno >= self._bases[idx]:
                 return idx, blkno - self._bases[idx]

@@ -71,6 +71,17 @@ class HighLightConfig(LFSConfig):
     sched_prefetch_queue_limit: int = 16
     sched_writeout_queue_limit: int = 8
     sched_cleaner_queue_limit: int = 32
+    #: Fault-recovery knobs (docs/FAULTS.md), consumed by
+    #: :class:`repro.faults.FaultManager`: observed device errors a
+    #: volume may accumulate before it is quarantined, …
+    fault_error_budget: int = 3
+    #: … seed for the retry policy's backoff-jitter RNG, …
+    fault_retry_seed: int = 0
+    #: … and optional uniform overrides of the per-class retry table
+    #: (None keeps repro.faults.retry.DEFAULT_CLASS_POLICIES).
+    fault_max_attempts: Optional[int] = None
+    fault_backoff_base: Optional[float] = None
+    fault_retry_deadline: Optional[float] = None
     #: Device data-path implementation: "extent" (zero-copy extent runs)
     #: or "blockdict" (the historical per-block baseline, kept for the
     #: A/B in ``python -m repro.bench --perf``).  Applied process-wide at

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.addressing import line_read, line_write
-from repro.errors import TertiaryExhausted
+from repro.errors import PermanentDeviceError, TertiaryExhausted
 from repro.sim.actor import Actor
 
 
@@ -55,7 +55,8 @@ class ReplicaManager:
         locations = self.catalog.setdefault(tsegno, [])
         primary_vol, _ = fs.aspace.volume_of(tsegno)
         used_vols = {primary_vol} | {vol for vol, _seg in locations}
-        for _ in range(self.copies - len(locations)):
+        needed = self.copies - len(locations)
+        while written < needed:
             target = self._pick_replica_volume(used_vols)
             if target is None:
                 break
@@ -66,11 +67,17 @@ class ReplicaManager:
             used_vols.add(vol)
             vol_id = fs.tsegfile.volumes[vol].volume_id
             blkno = seg_in_vol * fs.aspace.blocks_per_seg
-            fs.footprint.write(actor, vol_id, blkno, image)
             # "Not counting the replicas as live data": release the
             # liveness the allocator assumed.
             use = fs.tsegfile.seguse(vol, seg_in_vol)
             use.live_bytes = 0
+            try:
+                fs.footprint.write(actor, vol_id, blkno, image)
+            except PermanentDeviceError:
+                # Replicas are an optimisation: a dead target costs us
+                # this copy attempt, not the write-out.  The recovery
+                # layer has quarantined the volume; try another.
+                continue
             locations.append((vol, seg_in_vol))
             written += 1
             self.replicas_written += 1
@@ -82,7 +89,7 @@ class ReplicaManager:
         from the migration stream's consuming volume."""
         tseg = self.fs.tsegfile
         for vol in range(len(tseg.volumes) - 1, -1, -1):
-            if vol in exclude:
+            if vol in exclude or self._failed(vol):
                 continue
             meta = tseg.volumes[vol]
             if not meta.marked_full and meta.next_free < meta.nsegs:

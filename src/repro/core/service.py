@@ -25,7 +25,7 @@ from typing import Callable, Optional
 
 from repro import obs
 from repro.core.ioserver import CAT_QUEUING
-from repro.errors import EndOfMedium, MigrationError
+from repro.errors import EndOfMedium, MigrationError, PermanentDeviceError
 from repro.sim.actor import Actor
 
 
@@ -114,6 +114,9 @@ class ServiceProcess:
         except EndOfMedium:
             self._handle_end_of_medium(actor, tsegno)
             return
+        except PermanentDeviceError as exc:
+            self._handle_dead_volume(actor, tsegno, exc)
+            return
         self.cache.seal_staging(tsegno)
 
     def _handle_end_of_medium(self, actor: Actor, tsegno: int) -> None:
@@ -126,9 +129,29 @@ class ServiceProcess:
         vol_id = self.fs.tsegfile.volumes[vol].volume_id
         self.fs.tsegfile.mark_volume_full(vol)
         self.ioserver.footprint.mark_full(vol_id)
+        self._restage_and_retry(actor, tsegno, vol_id,
+                                "hit end-of-medium")
+
+    def _handle_dead_volume(self, actor: Actor, tsegno: int,
+                            exc: PermanentDeviceError) -> None:
+        """The target medium died mid-write-out: never drop the data —
+        fence the volume off from the allocator and re-stage the line
+        onto a healthy one (same path as end-of-medium)."""
+        vol, _seg = self.fs.aspace.volume_of(tsegno)
+        vol_id = self.fs.tsegfile.volumes[vol].volume_id
+        self.fs.tsegfile.mark_volume_full(vol)
+        self.ioserver.footprint.mark_full(vol_id)
+        obs.counter("service_writeout_restages_total",
+                    "write-outs re-staged onto a healthy volume after a "
+                    "permanent device failure").inc()
+        self._restage_and_retry(actor, tsegno, exc.volume_id,
+                                f"failed permanently ({exc})")
+
+    def _restage_and_retry(self, actor: Actor, tsegno: int,
+                           vol_id, why: str) -> None:
         if self.restage_handler is None:
             raise MigrationError(
-                f"volume {vol_id} hit end-of-medium and no migrator is "
+                f"volume {vol_id} {why} and no migrator is "
                 "available to restage the segment")
         # Restaging is requeue work: charge it to the queuing category so
         # the write-out's elapsed time still partitions into Table 4.

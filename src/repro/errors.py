@@ -8,6 +8,8 @@ policy-level faults.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -18,7 +20,61 @@ class ReproError(Exception):
 # --------------------------------------------------------------------------
 
 class DeviceError(ReproError):
-    """Base class for block-device faults."""
+    """Base class for block-device faults.
+
+    Carries structured context so recovery code (``repro.faults``) can
+    act — retry, quarantine, re-stage — without parsing message strings:
+    ``volume_id`` names the tertiary volume involved (None for plain
+    disks), ``blkno`` the first block of the failed transfer, and
+    ``attempt`` the retry attempt that raised (stamped by
+    :class:`repro.faults.RetryPolicy`).
+    """
+
+    def __init__(self, message: str = "", *,
+                 volume_id: Optional[int] = None,
+                 blkno: Optional[int] = None,
+                 attempt: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.volume_id = volume_id
+        self.blkno = blkno
+        self.attempt = attempt
+
+    def _context(self) -> str:
+        parts = []
+        if self.volume_id is not None:
+            parts.append(f"volume={self.volume_id}")
+        if self.blkno is not None:
+            parts.append(f"blkno={self.blkno}")
+        if self.attempt is not None:
+            parts.append(f"attempt={self.attempt}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        ctx = self._context()
+        if not ctx:
+            return base
+        return f"{base} [{ctx}]" if base else f"[{ctx}]"
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({super().__str__()!r}, "
+                f"volume_id={self.volume_id!r}, blkno={self.blkno!r}, "
+                f"attempt={self.attempt!r})")
+
+
+class TransientDeviceError(DeviceError):
+    """A device fault expected to clear on retry (dirty head, dropped
+    SCSI transaction, picker mis-grab).  :class:`repro.faults.RetryPolicy`
+    retries these with bounded exponential backoff; every other
+    :class:`DeviceError` propagates immediately."""
+
+
+class PermanentDeviceError(DeviceError):
+    """A device fault retries cannot fix (destroyed medium, dead drive).
+
+    Recovery means giving up on the copy: quarantine the volume, serve
+    reads from a replica, re-stage write-outs onto a healthy volume.
+    """
 
 
 class AddressError(DeviceError):
@@ -45,8 +101,21 @@ class DriveBusy(DeviceError):
     """All drives in a jukebox are pinned and none can be reallocated."""
 
 
-class MediaFailure(DeviceError):
-    """Injected media failure (used by fault-injection tests)."""
+class MediaFailure(PermanentDeviceError):
+    """The medium is unreadable for good (injected or declared after a
+    retry policy exhausted itself)."""
+
+
+class TransientMediaError(TransientDeviceError):
+    """A single read/write failed but the medium is believed healthy."""
+
+
+class MountFailure(TransientDeviceError):
+    """The robot failed to seat a volume in a drive (picker slip)."""
+
+
+class DriveTimeout(TransientDeviceError):
+    """A drive stopped responding mid-operation and the request timed out."""
 
 
 class ReadOnlyMedium(DeviceError):

@@ -17,6 +17,7 @@ from typing import List
 
 from repro.blockdev.datapath import (Buffer, ExtentRef, materialize_refs,
                                      ref_of)
+from repro.faults.health import VolumeHealth
 from repro.sim.actor import Actor
 
 
@@ -30,6 +31,9 @@ class VolumeInfo:
     block_size: int
     write_once: bool
     marked_full: bool
+    #: Device-health state (see docs/FAULTS.md); implementations without
+    #: a health model report ONLINE.
+    health: VolumeHealth = VolumeHealth.ONLINE
 
 
 class FootprintInterface(ABC):

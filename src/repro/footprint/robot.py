@@ -27,6 +27,9 @@ class JukeboxFootprint(FootprintInterface):
         self.jukebox = jukebox
         self._write_drive: Optional[int] = None
         self._write_volume: Optional[int] = None
+        #: Optional :class:`repro.faults.FaultInjector` consulted before
+        #: each I/O reaches a drive (media/timeout/slow-I/O injection).
+        self.fault_injector = None
 
     # -- inventory ----------------------------------------------------------
 
@@ -39,6 +42,7 @@ class JukeboxFootprint(FootprintInterface):
             block_size=vol.block_size,
             write_once=vol.write_once,
             marked_full=vol.marked_full,
+            health=vol.health,
         )
 
     def volumes(self) -> List[VolumeInfo]:
@@ -70,10 +74,16 @@ class JukeboxFootprint(FootprintInterface):
 
     # -- I/O ----------------------------------------------------------------
 
+    def _inject(self, actor: Actor, op: str, volume_id: int, blkno: int,
+                nblocks: int) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.on_io(actor, op, volume_id, blkno, nblocks)
+
     def read(self, actor: Actor, volume_id: int, blkno: int,
              nblocks: int) -> bytes:
         t0 = actor.time
         idx = self._drive_for(actor, volume_id, is_write=False)
+        self._inject(actor, "read", volume_id, blkno, nblocks)
         data = self.jukebox.drives[idx].read(actor, blkno, nblocks)
         self._account("read", len(data), actor.time - t0)
         return data
@@ -82,6 +92,9 @@ class JukeboxFootprint(FootprintInterface):
               data: Buffer) -> None:
         t0 = actor.time
         idx = self._drive_for(actor, volume_id, is_write=True)
+        self._inject(actor, "write", volume_id, blkno,
+                     len(data) // (self.jukebox.volume(volume_id).block_size
+                                   or 1))
         self.jukebox.drives[idx].write(actor, blkno, data)
         self._account("write", len(data), actor.time - t0)
 
@@ -89,6 +102,7 @@ class JukeboxFootprint(FootprintInterface):
                   nblocks: int) -> List[ExtentRef]:
         t0 = actor.time
         idx = self._drive_for(actor, volume_id, is_write=False)
+        self._inject(actor, "read", volume_id, blkno, nblocks)
         refs = self.jukebox.drives[idx].read_refs(actor, blkno, nblocks)
         self._account("read", refs_nbytes(refs), actor.time - t0)
         return refs
@@ -97,6 +111,9 @@ class JukeboxFootprint(FootprintInterface):
                    refs: List[ExtentRef]) -> None:
         t0 = actor.time
         idx = self._drive_for(actor, volume_id, is_write=True)
+        self._inject(actor, "write", volume_id, blkno,
+                     refs_nbytes(refs)
+                     // (self.jukebox.volume(volume_id).block_size or 1))
         self.jukebox.drives[idx].write_refs(actor, blkno, refs)
         self._account("write", refs_nbytes(refs), actor.time - t0)
 

@@ -152,6 +152,10 @@ class TertiaryScheduler:
         self._batch_served = 0
         self.in_flight: Dict[str, int] = {c: 0 for c in REQUEST_CLASSES}
         self.max_in_flight: Dict[str, int] = {c: 0 for c in REQUEST_CLASSES}
+        #: Innermost-first stack of classes currently executing through
+        #: the facade; the recovery layer reads :attr:`active_class` to
+        #: pick the per-class retry policy for in-flight device I/O.
+        self._active_classes: List[str] = []
         #: One record per scheduled-mode dispatch.
         self.dispatch_log: List[DispatchRecord] = []
         self.volume_switches = 0
@@ -167,6 +171,13 @@ class TertiaryScheduler:
         if rclass is None:
             return len(self._queue)
         return sum(1 for r in self._queue if r.rclass == rclass)
+
+    @property
+    def active_class(self) -> str:
+        """The request class currently executing through the facade
+        (``demand`` when idle — ad-hoc I/O is treated as demand)."""
+        return self._active_classes[-1] if self._active_classes \
+            else CLASS_DEMAND
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -368,6 +379,7 @@ class TertiaryScheduler:
                       self.queued(rclass))
 
     def _begin(self, rclass: str) -> None:
+        self._active_classes.append(rclass)
         self.in_flight[rclass] += 1
         if self.in_flight[rclass] > self.max_in_flight[rclass]:
             self.max_in_flight[rclass] = self.in_flight[rclass]
@@ -377,6 +389,12 @@ class TertiaryScheduler:
                       self.in_flight[rclass])
 
     def _end(self, rclass: str) -> None:
+        # Interleaved generators may unwind out of order: drop the last
+        # occurrence rather than assuming strict nesting.
+        for i in range(len(self._active_classes) - 1, -1, -1):
+            if self._active_classes[i] == rclass:
+                del self._active_classes[i]
+                break
         self.in_flight[rclass] -= 1
         obs.gauge("sched_in_flight",
                   "scheduler requests currently executing per class",

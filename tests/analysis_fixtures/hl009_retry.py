@@ -1,0 +1,69 @@
+"""HL009 fixture: blind retry loops on device errors (never imported)."""
+
+
+def bad_blind_retry(footprint, actor, vol, blkno):
+    while True:
+        try:
+            return footprint.read(actor, vol, blkno, 1)
+        except TransientMediaError:                        # finding: line 8
+            continue
+
+
+def bad_bounded_but_blind(footprint, actor, vol, blkno):
+    for _ in range(5):
+        try:
+            return footprint.read(actor, vol, blkno, 1)
+        except (DeviceError, DriveTimeout):                # finding: line 16
+            pass
+
+
+def bad_mount_spin(jukebox, actor, vol):
+    done = False
+    while not done:
+        try:
+            jukebox.load(actor, vol)
+            done = True
+        except errors.MountFailure:                        # finding: line 26
+            actor.sleep(1.0)
+
+
+def good_policy_retry(retry, actor, footprint, vol, blkno):
+    # ok: the sanctioned engine owns the loop
+    return retry.run(actor, "demand",
+                     lambda: footprint.read(actor, vol, blkno, 1),
+                     volume_id=vol)
+
+
+def good_failover_not_retry(footprint, actor, volumes, blkno):
+    for vol in volumes:
+        try:
+            return footprint.read(actor, vol, blkno, 1)
+        except PermanentDeviceError:
+            continue  # ok: permanent errors are fail-over, not retry
+
+
+def good_escaping_handler(footprint, actor, vol, blkno):
+    while True:
+        try:
+            return footprint.read(actor, vol, blkno, 1)
+        except TransientMediaError as exc:
+            raise MediaFailure(str(exc))  # ok: the handler escapes
+
+
+def good_handler_in_nested_def(footprint, actor, vol, blkno):
+    while blkno < 8:
+        def attempt():
+            try:
+                return footprint.read(actor, vol, blkno, 1)
+            except TransientMediaError:
+                pass  # ok: not looping with the outer while
+        if attempt() is not None:
+            break
+        blkno += 1
+
+
+def good_no_loop(footprint, actor, vol, blkno):
+    try:
+        return footprint.read(actor, vol, blkno, 1)
+    except TransientMediaError:
+        return None  # ok: a single attempt, not a loop

@@ -25,6 +25,7 @@ from repro.analysis.rules.hl005_metric_labels import HL005MetricLabels
 from repro.analysis.rules.hl006_exceptions import HL006ExceptionDiscipline
 from repro.analysis.rules.hl007_sched_submission import HL007SchedSubmission
 from repro.analysis.rules.hl008_datapath_copy import HL008DatapathCopy
+from repro.analysis.rules.hl009_retry_discipline import HL009RetryDiscipline
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 
@@ -113,6 +114,19 @@ class TestRuleFixtures:
         result = analyze("hl008_datapath.py", [rule])
         assert result.findings == []
 
+    def test_hl009_retry_discipline(self):
+        result = analyze("hl009_retry.py", [HL009RetryDiscipline()])
+        assert lines_of(result, "HL009") == [8, 16, 26]
+        # RetryPolicy use, permanent-error fail-over, escaping handlers,
+        # nested defs, and loop-less handlers all stay clean.
+        assert all(f.line <= 26 for f in result.findings)
+
+    def test_hl009_exempt_inside_faults_package(self):
+        # repro.faults owns the sanctioned retry engine.
+        rule = HL009RetryDiscipline(exempt=("hl009_retry",))
+        result = analyze("hl009_retry.py", [rule])
+        assert result.findings == []
+
 
 # ---------------------------------------------------------------------------
 # Suppression (# noqa) semantics
@@ -139,7 +153,7 @@ class TestNoqa:
 class TestFramework:
     def test_all_rules_have_distinct_codes_and_docs(self):
         codes = [r.code for r in ALL_RULES]
-        assert len(set(codes)) == len(codes) == 8
+        assert len(set(codes)) == len(codes) == 9
         for rule_cls in ALL_RULES:
             assert rule_cls.code.startswith("HL")
             assert rule_cls.name

@@ -1,0 +1,463 @@
+"""Tests for repro.faults: health states, injection, retry, recovery.
+
+The unit half exercises the pieces in isolation (state machine, spec
+matching, seeded backoff); the integration half wires a
+:class:`~repro.faults.FaultManager` onto a compact HighLight bed and
+checks the paper-level guarantee — acknowledged bytes survive transient
+storms, dead media, and the repair sweep that follows.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+import repro
+from repro import obs
+from repro.core.highlight import HighLightConfig
+from repro.core.replicas import ReplicaManager
+from repro.errors import (DeviceError, DriveTimeout, MediaFailure,
+                          MountFailure, PermanentDeviceError,
+                          TransientDeviceError, TransientMediaError)
+from repro.faults import (DEFAULT_CLASS_POLICIES, FaultInjector, FaultManager,
+                          FaultPlan, FaultSpec, HealthRegistry,
+                          KIND_MEDIA_DEAD, KIND_MEDIA_ERROR,
+                          KIND_MOUNT_FAILURE, KIND_SLOW_IO, RetryClassPolicy,
+                          RetryPolicy, VolumeHealth)
+from repro.sim.actor import Actor
+from repro.util.units import MB
+from tests.conftest import HLBed
+
+
+def _payload(tag, nbytes=MB):
+    return bytes((tag * 37 + j * 11) & 0xFF for j in range(256)) * \
+        (nbytes // 256)
+
+
+# ---------------------------------------------------------------------------
+# Health states and the redesigned device-health API
+# ---------------------------------------------------------------------------
+
+class TestVolumeHealth:
+    def test_serving_predicate(self):
+        assert VolumeHealth.ONLINE.serving
+        assert VolumeHealth.DEGRADED.serving
+        assert not VolumeHealth.QUARANTINED.serving
+        assert not VolumeHealth.RETIRED.serving
+
+    def test_failed_alias_round_trips(self):
+        bed = HLBed()
+        vol = next(iter(bed.jukebox.volumes.values()))
+        assert vol.health is VolumeHealth.ONLINE
+        assert vol.failed is False
+        vol.failed = True          # deprecated writers still work
+        assert vol.health is VolumeHealth.QUARANTINED
+        vol.failed = False
+        assert vol.health is VolumeHealth.ONLINE
+
+    def test_volume_info_surfaces_health(self):
+        bed = HLBed()
+        vid = next(iter(bed.jukebox.volumes))
+        assert bed.footprint.volume_info(vid).health is VolumeHealth.ONLINE
+        bed.jukebox.volumes[vid].inject_failure()
+        assert bed.footprint.volume_info(vid).health is \
+            VolumeHealth.QUARANTINED
+
+
+class TestDeviceErrorContext:
+    def test_str_carries_structured_context(self):
+        exc = MediaFailure("boom", volume_id=3, blkno=70, attempt=2)
+        assert "volume=3" in str(exc)
+        assert "blkno=70" in str(exc)
+        assert "attempt=2" in str(exc)
+        assert "MediaFailure" in repr(exc)
+
+    def test_plain_message_stays_plain(self):
+        assert str(DeviceError("just words")) == "just words"
+
+    def test_taxonomy(self):
+        assert issubclass(TransientMediaError, TransientDeviceError)
+        assert issubclass(MountFailure, TransientDeviceError)
+        assert issubclass(DriveTimeout, TransientDeviceError)
+        assert issubclass(MediaFailure, PermanentDeviceError)
+        for cls in (TransientDeviceError, PermanentDeviceError):
+            assert issubclass(cls, DeviceError)
+
+
+class TestHealthRegistry:
+    def _registry(self, budget=3, vols=(1, 2)):
+        jukebox = SimpleNamespace(volumes={
+            vid: SimpleNamespace(health=VolumeHealth.ONLINE) for vid in vols})
+        reg = HealthRegistry(error_budget=budget)
+        reg.attach(jukebox)
+        return reg, jukebox
+
+    def test_budget_walks_online_degraded_quarantined(self):
+        reg, _ = self._registry(budget=3)
+        assert reg.record_error(1, 0.0) is VolumeHealth.DEGRADED
+        assert reg.record_error(1, 1.0) is VolumeHealth.DEGRADED
+        assert reg.record_error(1, 2.0) is VolumeHealth.QUARANTINED
+        assert reg.quarantine_reasons[1] == "error_budget"
+        assert reg.quarantined() == [1]
+
+    def test_served_io_clears_the_budget(self):
+        # The budget counts *consecutive* failures: scattered transient
+        # noise absorbed by retry never adds up to a quarantine.
+        reg, jb = self._registry(budget=3)
+        reg.record_error(1, 0.0)
+        reg.record_error(1, 1.0)
+        reg.record_success(1)
+        assert reg.errors[1] == 0
+        assert jb.volumes[1].health is VolumeHealth.ONLINE
+        for t in range(3):
+            reg.record_error(1, float(t))
+        assert jb.volumes[1].health is VolumeHealth.QUARANTINED
+
+    def test_permanent_error_quarantines_immediately(self):
+        reg, _ = self._registry()
+        health = reg.record_error(2, 0.0, permanent=True, kind="media_dead")
+        assert health is VolumeHealth.QUARANTINED
+        assert reg.quarantine_reasons[2] == "media_dead"
+
+    def test_retire_and_idempotence(self):
+        reg, jb = self._registry()
+        reg.quarantine(1, 0.0, reason="manual")
+        reg.quarantine(1, 1.0, reason="other")   # idempotent: first wins
+        assert reg.quarantine_reasons[1] == "manual"
+        reg.retire(1, 2.0)
+        assert jb.volumes[1].health is VolumeHealth.RETIRED
+        assert reg.quarantined() == []
+
+    def test_unknown_volume_is_online_and_uncharged(self):
+        reg, _ = self._registry()
+        assert reg.record_error(99, 0.0) is VolumeHealth.ONLINE
+        assert reg.record_error(None, 0.0) is VolumeHealth.ONLINE
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HealthRegistry(error_budget=0)
+
+
+# ---------------------------------------------------------------------------
+# Fault plans and the injector
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("meteor_strike")
+        with pytest.raises(ValueError):
+            FaultSpec(KIND_MEDIA_ERROR, probability=1.5)
+
+    def test_count_expires_spec(self):
+        plan = FaultPlan().add(FaultSpec(KIND_MEDIA_ERROR, count=1))
+        injector = FaultInjector(plan)
+        actor = Actor("t")
+        with pytest.raises(TransientMediaError):
+            injector.on_io(actor, "read", 1, 0, 8)
+        injector.on_io(actor, "read", 1, 0, 8)   # spent: no raise
+        assert injector.injected == 1
+
+    def test_slow_io_spends_time_not_errors(self):
+        plan = FaultPlan().add(FaultSpec(KIND_SLOW_IO, delay=0.4))
+        injector = FaultInjector(plan)
+        actor = Actor("t")
+        for _ in range(3):
+            injector.on_io(actor, "read", 1, 0, 8)
+        assert actor.time == pytest.approx(1.2)
+        assert injector.injected == 3            # never expires by count
+
+    def test_window_and_op_filters(self):
+        spec = FaultSpec(KIND_MEDIA_ERROR, at=10.0, until=20.0, op="read",
+                         volume_id=5)
+        assert not spec.matches(5.0, 5, "read")      # before the window
+        assert not spec.matches(25.0, 5, "read")     # after the window
+        assert not spec.matches(15.0, 5, "write")    # wrong op
+        assert not spec.matches(15.0, 6, "read")     # wrong volume
+        assert spec.matches(15.0, 5, "read")
+
+    def test_mount_failure_raises_after_wasted_trip(self):
+        bed = HLBed()
+        vid = next(iter(bed.jukebox.volumes))
+        plan = FaultPlan().add(FaultSpec(KIND_MOUNT_FAILURE, op="mount",
+                                         count=1, delay=13.5))
+        bed.jukebox.fault_injector = FaultInjector(plan)
+        t0 = bed.app.time
+        with pytest.raises(MountFailure):
+            bed.jukebox.load(bed.app, vid)
+        assert bed.app.time - t0 >= 13.5
+        bed.jukebox.load(bed.app, vid)           # spec spent: seats fine
+        assert bed.jukebox.drive_holding(vid) is not None
+
+    def test_probabilistic_firing_is_seeded(self):
+        def pattern(seed):
+            plan = FaultPlan(seed=seed).add(
+                FaultSpec(KIND_MEDIA_ERROR, probability=0.5, count=64))
+            injector = FaultInjector(plan)
+            actor = Actor("t")
+            fired = []
+            for _ in range(32):
+                try:
+                    injector.on_io(actor, "read", 1, 0, 8)
+                    fired.append(0)
+                except TransientMediaError:
+                    fired.append(1)
+            return fired
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+
+    def test_disabled_injector_is_inert(self):
+        plan = FaultPlan().add(FaultSpec(KIND_MEDIA_ERROR))
+        injector = FaultInjector(plan)
+        injector.enabled = False
+        injector.on_io(Actor("t"), "read", 1, 0, 8)
+        assert injector.injected == 0
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy: bounded, seeded, virtual-time backoff
+# ---------------------------------------------------------------------------
+
+def _flaky_timeline(seed, failures=3, rclass="writeout"):
+    """Run one op that fails ``failures`` times; return attempt times."""
+    actor = Actor("t")
+    policy = RetryPolicy(seed=seed)
+    times = []
+    state = {"left": failures}
+
+    def op():
+        times.append(actor.time)
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise TransientMediaError("flaky", volume_id=1, blkno=0)
+        return "ok"
+
+    assert policy.run(actor, rclass, op) == "ok"
+    return times
+
+
+class TestRetryPolicy:
+    def test_transient_errors_absorbed_with_backoff(self):
+        times = _flaky_timeline(seed=1, failures=2)
+        assert len(times) == 3
+        assert times[0] == 0.0
+        assert times[1] > 0.0 and times[2] > times[1]
+        retries = [e for e in obs.trace().events() if e.etype == "retry"]
+        assert len(retries) == 2
+        assert retries[0].fields["attempt"] == 1
+
+    def test_same_seed_same_virtual_timeline(self):
+        assert _flaky_timeline(seed=42) == _flaky_timeline(seed=42)
+
+    def test_different_seed_different_jitter(self):
+        assert _flaky_timeline(seed=42) != _flaky_timeline(seed=43)
+
+    def test_attempt_budget_escalates_to_media_failure(self):
+        actor = Actor("t")
+        policy = RetryPolicy(seed=0)
+
+        def always_fails():
+            raise DriveTimeout("stuck", volume_id=9, blkno=4)
+
+        with pytest.raises(MediaFailure) as info:
+            policy.run(actor, "prefetch", always_fails)   # 2 attempts
+        assert info.value.attempt == 2
+        assert info.value.volume_id == 9
+        assert "attempts" in str(info.value)
+        assert policy.escalations == 1
+
+    def test_deadline_escalates(self):
+        actor = Actor("t")
+        policy = RetryPolicy(seed=0, policies={
+            "demand": RetryClassPolicy(max_attempts=99, base_backoff=1.0,
+                                       deadline=0.3)})
+
+        def always_fails():
+            raise TransientMediaError("flaky", volume_id=1)
+
+        with pytest.raises(MediaFailure) as info:
+            policy.run(actor, "demand", always_fails)
+        assert "deadline" in str(info.value)
+
+    def test_permanent_errors_never_retried(self):
+        policy = RetryPolicy(seed=0)
+
+        def dead():
+            raise MediaFailure("gone", volume_id=1)
+
+        with pytest.raises(MediaFailure):
+            policy.run(Actor("t"), "writeout", dead)
+        assert policy.attempts == 0
+
+    def test_health_registry_sees_every_failed_attempt(self):
+        jukebox = SimpleNamespace(volumes={
+            1: SimpleNamespace(health=VolumeHealth.ONLINE)})
+        reg = HealthRegistry(error_budget=5)
+        reg.attach(jukebox)
+        policy = RetryPolicy(seed=0, health=reg)
+        state = {"left": 2}
+
+        def op():
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise TransientMediaError("flaky", volume_id=1)
+            return "ok"
+
+        policy.run(Actor("t"), "writeout", op)
+        assert reg.errors[1] == 2
+        assert jukebox.volumes[1].health is VolumeHealth.DEGRADED
+
+    def test_class_table_and_config_overrides(self):
+        policy = RetryPolicy()
+        assert policy.policy_for("demand").max_attempts == \
+            DEFAULT_CLASS_POLICIES["demand"].max_attempts
+        assert policy.policy_for("no_such_class") == RetryClassPolicy()
+        fs = SimpleNamespace(
+            config=HighLightConfig(fault_max_attempts=2,
+                                   fault_backoff_base=0.125),
+            footprint=None)
+        fm = FaultManager(fs)
+        for rclass in DEFAULT_CLASS_POLICIES:
+            assert fm.retry.policy_for(rclass).max_attempts == 2
+            assert fm.retry.policy_for(rclass).base_backoff == 0.125
+
+
+# ---------------------------------------------------------------------------
+# End-to-end recovery on a HighLight bed
+# ---------------------------------------------------------------------------
+
+_FILES = {f"/keep/f{i}": _payload(i + 1) for i in range(3)}
+
+
+def _bed(copies=None, plan=None, install_before_migrate=False,
+         **fm_kwargs):
+    """A migrated bed with every byte acknowledged tertiary-side."""
+    bed = HLBed(n_platters=6, platter_bytes=8 * MB)
+    replicas = None
+    if copies:
+        replicas = ReplicaManager(bed.fs, copies=copies)
+        replicas.install(bed.migrator)
+    bed.fs.mkdir("/keep")
+    for path, payload in _FILES.items():
+        bed.fs.write_path(path, payload)
+    bed.fs.checkpoint()
+    bed.app.sleep(60)
+    fm = None
+    if install_before_migrate:
+        fm = FaultManager(bed.fs, plan=plan, replicas=replicas,
+                          **fm_kwargs).install()
+    for path in _FILES:
+        bed.migrator.migrate_file(path)
+    bed.migrator.flush()
+    bed.fs.service.flush_cache(bed.app)
+    bed.fs.drop_caches(drop_inodes=True)
+    if fm is None:
+        fm = FaultManager(bed.fs, plan=plan, replicas=replicas,
+                          **fm_kwargs).install()
+    return bed, fm, replicas
+
+
+def _read_all(bed):
+    for path, payload in _FILES.items():
+        assert bed.fs.read_path(path) == payload
+
+
+class TestRecoveryIntegration:
+    def test_transient_storm_never_surfaces(self):
+        plan = FaultPlan().add(FaultSpec(KIND_MEDIA_ERROR, op="read",
+                                         count=2))
+        bed, fm, _ = _bed(plan=plan)
+        _read_all(bed)
+        assert fm.retry.attempts == 2
+        assert fm.injector.injected == 2
+        assert fm.degraded_reads == 0
+
+    def test_dead_primary_served_from_replica(self):
+        bed_probe = HLBed(n_platters=6, platter_bytes=8 * MB)
+        victim = bed_probe.fs.tsegfile.volumes[0].volume_id
+        plan = FaultPlan().add(FaultSpec(KIND_MEDIA_DEAD, op="read",
+                                         volume_id=victim))
+        bed, fm, replicas = _bed(copies=1, plan=plan)
+        _read_all(bed)
+        assert fm.degraded_reads >= 1
+        assert fm.health.health_of(victim) is VolumeHealth.QUARANTINED
+        assert replicas.replica_reads >= 1
+
+    def test_error_budget_quarantines_flapping_volume(self):
+        bed_probe = HLBed(n_platters=6, platter_bytes=8 * MB)
+        victim = bed_probe.fs.tsegfile.volumes[0].volume_id
+        plan = FaultPlan().add(FaultSpec(KIND_MEDIA_ERROR, op="read",
+                                         volume_id=victim, count=99))
+        bed, fm, _ = _bed(copies=1, plan=plan, error_budget=3)
+        _read_all(bed)
+        assert fm.health.quarantine_reasons[victim] == "error_budget"
+        assert not fm.health.health_of(victim).serving
+
+    def test_writeout_restages_off_dying_volume(self):
+        bed_probe = HLBed(n_platters=6, platter_bytes=8 * MB)
+        victim = bed_probe.fs.tsegfile.volumes[0].volume_id
+        plan = FaultPlan().add(FaultSpec(KIND_MEDIA_DEAD, op="write",
+                                         volume_id=victim))
+        bed, fm, _ = _bed(plan=plan, install_before_migrate=True)
+        # The first copy-out died mid-write; the data was re-staged onto
+        # a healthy volume and every byte is still readable.
+        assert bed.fs.tsegfile.volumes[0].marked_full
+        _read_all(bed)
+
+    def test_repair_daemon_rehomes_and_retires(self):
+        bed_probe = HLBed(n_platters=6, platter_bytes=8 * MB)
+        victim = bed_probe.fs.tsegfile.volumes[0].volume_id
+        plan = FaultPlan().add(FaultSpec(KIND_MEDIA_DEAD, op="read",
+                                         volume_id=victim))
+        bed, fm, replicas = _bed(copies=1, plan=plan)
+        _read_all(bed)  # trips the media_dead, quarantining the victim
+        rehomed = fm.repair.run_once(bed.app)
+        assert rehomed >= 1
+        assert fm.repair.volumes_retired == 1
+        assert fm.health.health_of(victim) is VolumeHealth.RETIRED
+        bed.fs.service.flush_cache(bed.app)
+        bed.fs.drop_caches(drop_inodes=True)
+        _read_all(bed)  # served without ever touching the retired medium
+
+    def test_chaos_property_no_acknowledged_byte_lost(self):
+        # Satellite: seeded chaos with copies=1 loses nothing.
+        bed_probe = HLBed(n_platters=6, platter_bytes=8 * MB)
+        victim = bed_probe.fs.tsegfile.volumes[0].volume_id
+        plan = (FaultPlan(seed=11)
+                .add(FaultSpec(KIND_MEDIA_DEAD, op="read",
+                               volume_id=victim))
+                .add(FaultSpec(KIND_MEDIA_ERROR, op="read", count=5,
+                               probability=0.3))
+                .add(FaultSpec(KIND_SLOW_IO, op="read", probability=0.25,
+                               delay=0.2)))
+        bed, fm, _ = _bed(copies=1, plan=plan)
+        _read_all(bed)
+        fm.repair.run_once(bed.app)
+        bed.fs.service.flush_cache(bed.app)
+        bed.fs.drop_caches(drop_inodes=True)
+        _read_all(bed)
+        assert fm.injector.injected >= 1
+
+
+# ---------------------------------------------------------------------------
+# The curated top-level API (satellite: repro/__init__ re-exports)
+# ---------------------------------------------------------------------------
+
+class TestPublicAPI:
+    def test_reexports_resolve_to_the_real_classes(self):
+        from repro.core.highlight import HighLightFS
+        from repro.faults.plan import FaultPlan as DeepFaultPlan
+        assert repro.HighLightFS is HighLightFS
+        assert repro.FaultPlan is DeepFaultPlan
+        assert repro.ReplicaManager is ReplicaManager
+
+    def test_all_is_curated_and_sorted_first(self):
+        for name in ("HighLightFS", "HighLightConfig", "Migrator",
+                     "STPPolicy", "FaultPlan", "RetryPolicy",
+                     "VolumeHealth", "FaultManager"):
+            assert name in repro.__all__
+        assert "faults" in repro.__all__
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.NoSuchExport
