@@ -17,6 +17,8 @@ from repro.analysis.rules.hl006_exceptions import HL006ExceptionDiscipline
 from repro.analysis.rules.hl007_sched_submission import HL007SchedSubmission
 from repro.analysis.rules.hl008_datapath_copy import HL008DatapathCopy
 from repro.analysis.rules.hl009_retry_discipline import HL009RetryDiscipline
+from repro.analysis.rules.hl010_checkpoint_discipline import (
+    HL010CheckpointDiscipline)
 
 ALL_RULES = (
     HL001ClockPurity,
@@ -28,6 +30,7 @@ ALL_RULES = (
     HL007SchedSubmission,
     HL008DatapathCopy,
     HL009RetryDiscipline,
+    HL010CheckpointDiscipline,
 )
 
 __all__ = ["ALL_RULES", "default_rules"] + [cls.__name__ for cls in ALL_RULES]

@@ -47,6 +47,23 @@ class DataStore:
                 f"write of {nbytes} bytes is not block-aligned "
                 f"(block size {self.block_size})")
 
+    # -- media imaging (crash simulation) ----------------------------------
+    #
+    # A "crash" in the simulator abandons every in-memory object; the only
+    # state that survives is what reached the stores.  ``snapshot`` freezes
+    # the written contents as an opaque image, ``restore`` loads such an
+    # image into a (typically fresh) store of the same geometry — together
+    # they model pulling the platters out of a dead machine and spinning
+    # them up in a new one.
+
+    def snapshot(self) -> object:
+        """Freeze the written contents as an opaque, immutable image."""
+        raise NotImplementedError
+
+    def restore(self, image: object) -> None:
+        """Replace this store's contents with a snapshotted image."""
+        raise NotImplementedError
+
 
 class BlockStore(DataStore):
     """Sparse per-block data store: block number -> block bytes.
@@ -132,6 +149,18 @@ class BlockStore(DataStore):
                 continue
             self.write(cursor, part)
             cursor += len(part) // self.block_size
+
+    # -- media imaging ------------------------------------------------------
+
+    def snapshot(self) -> object:
+        # Block payloads are immutable bytes, so a dict copy is a deep
+        # image: later writes rebind entries, never mutate them.
+        return dict(self._blocks)
+
+    def restore(self, image: object) -> None:
+        if not isinstance(image, dict):
+            raise InvalidArgument("not a BlockStore image")
+        self._blocks = dict(image)
 
 
 def make_store(capacity_blocks: int, block_size: int) -> DataStore:

@@ -249,6 +249,22 @@ class ExtentStore(DataStore):
         """Zero-copy views covering the request (zeros for holes)."""
         return [r.view() for r in self.read_refs(blkno, nblocks)]
 
+    # -- media imaging ------------------------------------------------------
+
+    def snapshot(self) -> object:
+        # Extent buffers are never mutated in place (writes replace rows),
+        # so sharing them with the image is safe; only the row lists are
+        # copied.  Rows are frozen as tuples to keep the image immutable.
+        return [(s, n, buf, off) for s, n, buf, off in self._exts]
+
+    def restore(self, image: object) -> None:
+        if not isinstance(image, list):
+            from repro.errors import InvalidArgument
+            raise InvalidArgument("not an ExtentStore image")
+        self._exts = [[s, n, buf, off] for s, n, buf, off in image]
+        self._starts = [row[_START] for row in self._exts]
+        self._written = sum(row[_NBLK] for row in self._exts)
+
     def writev(self, blkno: int, parts: Sequence[Buffer]) -> None:
         """Write a sequence of buffers at consecutive block positions."""
         cursor = blkno

@@ -88,6 +88,14 @@ class HighLightConfig(LFSConfig):
     #: device construction time by the bench harness; virtual-time
     #: results are bit-identical across modes.
     datapath_mode: str = "extent"
+    #: Scrub-daemon knobs (docs/RECOVERY.md), consumed by
+    #: :meth:`repro.persist.PersistManager.make_scrubber`: virtual
+    #: seconds charged between segment verifications (the configurable
+    #: scrub rate), …
+    scrub_pacing_seconds: float = 0.25
+    #: … and whether sealed disk cache lines are scrubbed too (tertiary
+    #: segments always are).
+    scrub_include_cache: bool = True
 
 
 class HighLightFS(LFS):
@@ -112,6 +120,12 @@ class HighLightFS(LFS):
         self.migrator = None          # set by Migrator.__init__
         self.range_tracker = None     # optional AccessRangeTracker
         self.tsegfile_inum: Optional[int] = None
+        #: Set by :meth:`repro.persist.PersistManager.install`; when
+        #: present, every checkpoint also writes a persistence image and
+        #: :meth:`recover` can replay one after a remount.  ``None``
+        #: keeps the stack byte-identical to the persistence-free
+        #: pipeline (the golden-trace invariant).
+        self.persist = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -335,6 +349,29 @@ class HighLightFS(LFS):
             if len(content) < old_size:
                 self._truncate_blocks(ino, len(content), actor)
         super().checkpoint(actor)
+        if self.persist is not None:
+            # The LFS checkpoint (superblock write) is durable first, so
+            # the persistence image always describes an epoch the log can
+            # reach; a crash between the two writes leaves the previous
+            # image, which recovery treats as advisory.
+            self.persist.on_checkpoint(actor)
+
+    def recover(self, actor: Optional[Actor] = None):
+        """Replay the persistence checkpoint after a remount.
+
+        ``mount_highlight`` already recovered the LFS half (superblock
+        checkpoint + roll-forward to the last durable epoch); this
+        restores what the log does not record — health registry, scrub
+        ledger, replica catalog, preserved counters — and reconciles
+        staging lines and in-doubt volumes.  Requires an installed
+        :class:`repro.persist.PersistManager`; returns its
+        :class:`~repro.persist.manager.RecoveryReport`.
+        """
+        if self.persist is None:
+            raise InvalidArgument(
+                "no PersistManager installed; construct one over this "
+                "filesystem and call .install() before recover()")
+        return self.persist.recover(actor or self.actor)
 
     # ------------------------------------------------------------------
     # Access-range tracking hook (block-range policy support)

@@ -124,7 +124,13 @@ class ReplicaManager:
             return False
         vol_id = self.fs.tsegfile.volumes[vol].volume_id
         volume = jukebox.volumes.get(vol_id)
-        return bool(volume is not None and volume.failed)
+        if volume is None:
+            return False
+        # A fenced volume (quarantined by the health registry — e.g. the
+        # scrubber caught a checksum mismatch on it) is as unusable as
+        # failed media: serving "healthy" reads from it would hand back
+        # the very bytes the quarantine distrusts.
+        return bool(volume.failed or not volume.health.serving)
 
     def _loaded(self, vol_id: int) -> bool:
         jukebox = getattr(self.fs.footprint, "jukebox", None)

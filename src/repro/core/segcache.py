@@ -62,6 +62,12 @@ class SegmentCache:
         """Cached tertiary segment numbers."""
         return list(self._dir)
 
+    def entries(self) -> List[tuple]:
+        """The full directory as sorted ``(tsegno, disk_segno, staging)``
+        rows — the shape checkpointed by ``repro.persist``."""
+        return [(tsegno, disk_segno, self.is_staging(tsegno))
+                for tsegno, disk_segno in sorted(self._dir.items())]
+
     # -- insertion / removal ----------------------------------------------------------
 
     def register(self, tsegno: int, disk_segno: int, actor: Actor,

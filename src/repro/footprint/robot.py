@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro import obs
-from repro.blockdev.datapath import Buffer, ExtentRef, refs_nbytes
+from repro.blockdev.datapath import (Buffer, ExtentRef, ref_of,
+                                     refs_nbytes)
 from repro.blockdev.jukebox import Jukebox
 from repro.errors import NoSuchVolume
 from repro.footprint.interface import FootprintInterface, VolumeInfo
@@ -30,6 +31,13 @@ class JukeboxFootprint(FootprintInterface):
         #: Optional :class:`repro.faults.FaultInjector` consulted before
         #: each I/O reaches a drive (media/timeout/slow-I/O injection).
         self.fault_injector = None
+        #: Optional ``(volume_id, blkno, refs)`` callback fired after each
+        #: *successful* write — ``repro.persist`` folds the scrub CRC
+        #: ledger over the data as it goes by.  A failed or torn write
+        #: never reaches the observer, so a stale ledger entry is exactly
+        #: the scrubber's detection signal.  Pure host computation: no
+        #: virtual time, no events.
+        self.write_observer = None
 
     # -- inventory ----------------------------------------------------------
 
@@ -97,6 +105,8 @@ class JukeboxFootprint(FootprintInterface):
                                    or 1))
         self.jukebox.drives[idx].write(actor, blkno, data)
         self._account("write", len(data), actor.time - t0)
+        if self.write_observer is not None:
+            self.write_observer(volume_id, blkno, [ref_of(data)])
 
     def read_refs(self, actor: Actor, volume_id: int, blkno: int,
                   nblocks: int) -> List[ExtentRef]:
@@ -116,6 +126,8 @@ class JukeboxFootprint(FootprintInterface):
                      // (self.jukebox.volume(volume_id).block_size or 1))
         self.jukebox.drives[idx].write_refs(actor, blkno, refs)
         self._account("write", refs_nbytes(refs), actor.time - t0)
+        if self.write_observer is not None:
+            self.write_observer(volume_id, blkno, refs)
 
     @staticmethod
     def _account(op: str, nbytes: int, seconds: float) -> None:

@@ -17,7 +17,7 @@ from repro.lfs.constants import (BLOCK_SIZE, RESERVED_BLOCKS, SEGMENT_SIZE,
                                  SUPERBLOCK_MAGIC, UNASSIGNED)
 from repro.util.checksum import cksum32
 
-_FIXED = struct.Struct("<IIIIIIII")       # magic, bsize, ssize, nsegs, ncachesegs, flags, rsv, rsv
+_FIXED = struct.Struct("<IIIIIIII")       # magic, bsize, ssize, nsegs, ncachesegs, flags, persist_root, rsv
 _CKPT = struct.Struct("<QIIdI")           # serial, ifile_daddr, cur_segno, timestamp, cksum
 
 
@@ -58,6 +58,11 @@ class Superblock:
     #: (HighLight; 0 for plain LFS).  Paper §6.4.
     ncachesegs: int = 0
     flags: int = 0
+    #: First reserved block of the persistence checkpoint area
+    #: (``repro.persist``), or 0 when the image carries none.  Lives in a
+    #: previously-reserved fixed-header word, so legacy images (which
+    #: packed a literal 0 there) read back as "no persist area".
+    persist_root: int = 0
     checkpoints: list = field(default_factory=lambda: [Checkpoint(), Checkpoint()])
 
     #: Device block where the superblock lives (within the reserved area).
@@ -66,18 +71,19 @@ class Superblock:
     def pack(self) -> bytes:
         fixed = _FIXED.pack(SUPERBLOCK_MAGIC, self.block_size,
                             self.segment_size, self.nsegs,
-                            self.ncachesegs, self.flags, 0, 0)
+                            self.ncachesegs, self.flags,
+                            self.persist_root, 0)
         raw = fixed + self.checkpoints[0].pack() + self.checkpoints[1].pack()
         return raw.ljust(BLOCK_SIZE, b"\0")
 
     @classmethod
     def unpack(cls, data: bytes) -> "Superblock":
-        magic, bsize, ssize, nsegs, ncache, flags, _, _ = _FIXED.unpack(
-            data[:_FIXED.size])
+        magic, bsize, ssize, nsegs, ncache, flags, persist_root, _ = \
+            _FIXED.unpack(data[:_FIXED.size])
         if magic != SUPERBLOCK_MAGIC:
             raise CorruptFilesystem(f"bad superblock magic {magic:#x}")
         sb = cls(block_size=bsize, segment_size=ssize, nsegs=nsegs,
-                 ncachesegs=ncache, flags=flags)
+                 ncachesegs=ncache, flags=flags, persist_root=persist_root)
         offset = _FIXED.size
         slots = []
         for _i in range(2):

@@ -288,3 +288,31 @@ class MetricsRegistry:
         """Zero every series (family definitions survive)."""
         for fam in self._families.values():
             fam.clear()
+
+    # -- persistence (repro.persist checkpoints) ---------------------------
+
+    def counter_samples(self, prefixes: Tuple[str, ...]
+                        ) -> List[List[object]]:
+        """JSON-encodable dump of every counter series whose family name
+        starts with one of ``prefixes``: ``[name, labelnames,
+        labelvalues, value]`` rows, deterministically ordered."""
+        rows: List[List[object]] = []
+        for fam in self.families():
+            if fam.kind != "counter" \
+                    or not fam.name.startswith(tuple(prefixes)):
+                continue
+            for values, child in sorted(fam.series()):
+                rows.append([fam.name, list(fam.labelnames), list(values),
+                             child.value])
+        return rows
+
+    def restore_counter_sample(self, name: str, labelnames, labelvalues,
+                               value: float) -> None:
+        """Reinstate one persisted counter sample into this registry by
+        adding ``value`` onto the (possibly fresh) series.  Lives here —
+        not in ``repro.persist`` — because rebuilding a series from
+        stored label names requires the dynamic ``labels(**...)`` form
+        that call sites outside the registry must not use (HL005)."""
+        fam = self.counter(name, "", tuple(labelnames))
+        child = fam.labels(**dict(zip(labelnames, labelvalues)))
+        child.inc(value)

@@ -1,0 +1,152 @@
+"""Process-death simulation: write traps and media imaging.
+
+A crash in this simulator is modelled honestly: every in-memory object —
+filesystem, cache directory, health registry, scheduler, clocks — is
+abandoned, and the only state that survives is what had reached the
+device stores.  :func:`snapshot_media` freezes those stores as images;
+a fresh device farm built over :func:`restore_media` is "the same
+platters in a new machine", ready for ``mount_highlight`` +
+``fs.recover()``.
+
+:class:`CrashTrap` + :class:`TrappedStore` inject the kill point: the
+trap counts store-level writes across *all* trapped devices and, on the
+chosen write, lets only a prefix of it reach the medium (a torn write)
+before raising :class:`SimulatedCrash`.  Wrapping at the store layer —
+below the timed device models — means disk, MO, and tape writes are all
+crashable through one mechanism, the same delegation idiom as the torn-
+write tests' ``TornWriteDisk``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import ReproError
+
+
+class SimulatedCrash(ReproError):
+    """The process model died at an armed crash point."""
+
+
+class CrashTrap:
+    """Counts writes across trapped stores; fires once when armed."""
+
+    def __init__(self) -> None:
+        self.countdown: Optional[int] = None
+        self.tear_blocks = 0
+        self.fired = False
+        self.writes_seen = 0
+
+    def arm(self, after_writes: int, tear_blocks: int = 0) -> None:
+        """Crash on the write following ``after_writes`` complete ones,
+        letting its first ``tear_blocks`` blocks reach the medium."""
+        self.countdown = after_writes
+        self.tear_blocks = tear_blocks
+        self.fired = False
+
+    def disarm(self) -> None:
+        self.countdown = None
+
+    def check(self) -> Optional[int]:
+        """Called per store write: ``None`` to proceed, or the number of
+        blocks to let through before the crash."""
+        self.writes_seen += 1
+        if self.countdown is None or self.fired:
+            return None
+        if self.countdown > 0:
+            self.countdown -= 1
+            return None
+        self.fired = True
+        return self.tear_blocks
+
+
+class TrappedStore:
+    """Delegating store wrapper that enforces a :class:`CrashTrap`."""
+
+    def __init__(self, inner, trap: CrashTrap) -> None:
+        self.inner = inner
+        self.trap = trap
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def _tear(self, blkno: int, data: bytes, keep_blocks: int) -> None:
+        bs = self.inner.block_size
+        kept = bytes(data)[:keep_blocks * bs]
+        if kept:
+            self.inner.write(blkno, kept)
+        raise SimulatedCrash(
+            f"crash point hit: write at block {blkno} tore after "
+            f"{keep_blocks} of {len(data) // bs} blocks")
+
+    def write(self, blkno, data):
+        keep = self.trap.check()
+        if keep is not None:
+            self._tear(blkno, data, keep)
+        self.inner.write(blkno, data)
+
+    def writev(self, blkno, parts):
+        keep = self.trap.check()
+        if keep is not None:
+            self._tear(blkno, b"".join(bytes(p) for p in parts), keep)
+        self.inner.writev(blkno, parts)
+
+    def write_refs(self, blkno, refs):
+        keep = self.trap.check()
+        if keep is not None:
+            self._tear(blkno, b"".join(bytes(r.view()) for r in refs), keep)
+        self.inner.write_refs(blkno, refs)
+
+
+def _unwrap(store):
+    while isinstance(store, TrappedStore):
+        store = store.inner
+    return store
+
+
+def install_trap(devices: Iterable, trap: CrashTrap) -> None:
+    """Wrap each device's store (disk devices and removable volumes both
+    carry ``.store``) so the shared trap sees every write."""
+    for dev in devices:
+        dev.store = TrappedStore(dev.store, trap)
+
+
+def snapshot_media(disk, jukebox) -> Dict[str, object]:
+    """Freeze every medium's current contents (the post-crash state)."""
+    return {
+        "disk": _unwrap(disk.store).snapshot(),
+        "volumes": {vid: _unwrap(vol.store).snapshot()
+                    for vid, vol in jukebox.volumes.items()},
+    }
+
+
+def restore_media(images: Dict[str, object], disk, jukebox) -> None:
+    """Load snapshotted media into a freshly built device farm."""
+    _unwrap(disk.store).restore(images["disk"])
+    for vid, image in images["volumes"].items():
+        _unwrap(jukebox.volumes[vid].store).restore(image)
+
+
+def restart_highlight(images: Dict[str, object], *, disk_bytes: int,
+                      n_platters: int, platter_bytes: int, config=None):
+    """Build a fresh device farm, load the crashed media, and remount.
+
+    Returns ``(fs, disk, jukebox, footprint)``.  The caller wires its own
+    :class:`~repro.persist.manager.PersistManager` (and health/replica
+    registries) over the mounted filesystem and calls ``fs.recover()`` —
+    exactly the sequence a real restart performs.
+    """
+    from repro.blockdev import profiles
+    from repro.blockdev.bus import SCSIBus
+    from repro.core.highlight import HighLightFS
+    from repro.footprint.robot import JukeboxFootprint
+
+    bus = SCSIBus()
+    disk = profiles.make_disk(profiles.RZ57, bus=bus,
+                              capacity_bytes=disk_bytes)
+    jukebox = profiles.make_hp6300(n_platters=n_platters, bus=bus,
+                                   effective_platter_bytes=platter_bytes)
+    restore_media(images, disk, jukebox)
+    footprint = JukeboxFootprint(jukebox)
+    fs = HighLightFS.mount_highlight(disk, footprint, config)
+    return fs, disk, jukebox, footprint

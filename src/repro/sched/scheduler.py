@@ -172,6 +172,15 @@ class TertiaryScheduler:
             return len(self._queue)
         return sum(1 for r in self._queue if r.rclass == rclass)
 
+    def queued_descriptors(self) -> List[list]:
+        """Serializable queue snapshot: ``[rclass, tag, volume,
+        submitted]`` rows in submission order.  A request's execute
+        closure cannot be persisted, so ``repro.persist`` checkpoints
+        these descriptors and recovery reconstructs the work they
+        describe (or drops it, counted) from them."""
+        return [[r.rclass, r.tag, r.volume, r.submitted]
+                for r in sorted(self._queue, key=lambda r: r.seq)]
+
     @property
     def active_class(self) -> str:
         """The request class currently executing through the facade

@@ -1,0 +1,43 @@
+"""HL010 fixture: mutation between checkpoint mark and write (never
+imported)."""
+
+
+def bad_mutates_between(self, actor):
+    image = self.checkpoint_mark(actor)
+    self.dirty = True                                  # finding: attr store
+    self.ledger[actor.name] = 1                        # finding: subscript
+    self.epoch += 1                                    # finding: augassign
+    del self.cache["stale"]                            # finding: del
+    self.checkpoint_commit(actor, image)
+
+
+def bad_unpacking_between(self, actor):
+    image = self.checkpoint_mark(actor)
+    self.a, rest = 1, 2                                # finding: unpack attr
+    self.checkpoint_commit(actor, image)
+    return rest
+
+
+def good_pure_protocol(self, actor):
+    self.pre_mark_state = "settled"                    # ok: before the mark
+    image = self.checkpoint_mark(actor)
+    serial = image.serial                              # ok: local binding
+    payload = encode(image)                            # ok: local binding
+    self.checkpoint_commit(actor, payload)
+    self.last_serial = serial                          # ok: after the commit
+    return payload
+
+
+def good_mark_only(self, actor):
+    image = self.checkpoint_mark(actor)
+    self.observed = True                               # ok: no commit here
+    return image
+
+
+def good_commit_only(self, actor, image):
+    self.committed += 1                                # ok: no mark here
+    self.checkpoint_commit(actor, image)
+
+
+def encode(image):
+    return bytes(image.serial)

@@ -26,6 +26,8 @@ from repro.analysis.rules.hl006_exceptions import HL006ExceptionDiscipline
 from repro.analysis.rules.hl007_sched_submission import HL007SchedSubmission
 from repro.analysis.rules.hl008_datapath_copy import HL008DatapathCopy
 from repro.analysis.rules.hl009_retry_discipline import HL009RetryDiscipline
+from repro.analysis.rules.hl010_checkpoint_discipline import (
+    HL010CheckpointDiscipline)
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 
@@ -127,6 +129,19 @@ class TestRuleFixtures:
         result = analyze("hl009_retry.py", [rule])
         assert result.findings == []
 
+    def test_hl010_checkpoint_discipline(self):
+        result = analyze("hl010_checkpoint.py", [HL010CheckpointDiscipline()])
+        assert lines_of(result, "HL010") == [7, 8, 9, 10, 16]
+        # Pure-protocol bodies, mark-only and commit-only functions, and
+        # mutations before the mark / after the commit all stay clean.
+        assert all(f.line <= 16 for f in result.findings)
+
+    def test_hl010_message_names_the_window(self):
+        result = analyze("hl010_checkpoint.py", [HL010CheckpointDiscipline()])
+        first = next(f for f in result.findings if f.line == 7)
+        assert "checkpoint_mark" in first.message
+        assert "checkpoint_commit" in first.message
+
 
 # ---------------------------------------------------------------------------
 # Suppression (# noqa) semantics
@@ -153,7 +168,7 @@ class TestNoqa:
 class TestFramework:
     def test_all_rules_have_distinct_codes_and_docs(self):
         codes = [r.code for r in ALL_RULES]
-        assert len(set(codes)) == len(codes) == 9
+        assert len(set(codes)) == len(codes) == 10
         for rule_cls in ALL_RULES:
             assert rule_cls.code.startswith("HL")
             assert rule_cls.name

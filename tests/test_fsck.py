@@ -94,6 +94,106 @@ class TestCheckerDetectsDamage:
         assert any("next_free" in e for e in report.errors)
 
 
+class TestCheckerOracle:
+    """The dict-model oracle: path -> bytes the tree must contain."""
+
+    def test_matching_oracle_clean(self, lfs):
+        oracle = {}
+        for i in range(5):
+            oracle[f"/o{i}"] = os.urandom(30 * KB)
+            lfs.write_path(f"/o{i}", oracle[f"/o{i}"])
+        lfs.checkpoint()
+        report = check_filesystem(lfs, oracle=oracle)
+        assert report.ok, report.render()
+
+    def test_detects_content_divergence(self, lfs):
+        lfs.write_path("/o", b"a" * (20 * KB))
+        lfs.checkpoint()
+        report = check_filesystem(lfs, oracle={"/o": b"b" * (20 * KB)})
+        assert any("differs from oracle" in e for e in report.errors)
+
+    def test_detects_missing_file(self, lfs):
+        report = check_filesystem(lfs, oracle={"/never-written": b"x"})
+        assert any("read-back failed" in e for e in report.errors)
+
+    def test_oracle_survives_remount(self, lfs, small_disk):
+        oracle = {"/keep": os.urandom(100 * KB)}
+        lfs.write_path("/keep", oracle["/keep"])
+        lfs.checkpoint()
+        fs2 = LFS.mount(small_disk)
+        report = check_filesystem(fs2, oracle=oracle)
+        assert report.ok, report.render()
+
+
+class TestCheckerPersistSlots:
+    """Checkpoint-slot validation when a persistence area is anchored."""
+
+    @staticmethod
+    def _persist_bed():
+        from repro.persist import PersistManager
+        bed = HLBed()
+        pm = PersistManager(bed.fs)
+        pm.install()
+        return bed, pm
+
+    def test_no_persist_root_skips_validation(self, hl):
+        assert hl.fs.sb.persist_root == 0
+        report = check_filesystem(hl.fs)
+        assert report.ok and not report.warnings, report.render()
+
+    def test_valid_slots_clean(self):
+        bed, _pm = self._persist_bed()
+        bed.fs.write_path("/p", os.urandom(100 * KB))
+        bed.fs.checkpoint()
+        report = check_filesystem(bed.fs)
+        assert report.ok and not report.warnings, report.render()
+
+    def test_single_corrupt_slot_warns(self):
+        from repro.persist.format import SLOT_BASES
+        bed, _pm = self._persist_bed()
+        bed.fs.write_path("/p", os.urandom(50 * KB))
+        bed.fs.checkpoint()
+        bed.fs.write_path("/q", os.urandom(50 * KB))
+        bed.fs.checkpoint()  # both slots now hold images
+        bed.fs.dev_write(bed.app, SLOT_BASES[0],
+                         b"\xff" * 16 + b"\x00" * (4 * KB - 16))
+        report = check_filesystem(bed.fs)
+        assert report.ok, report.render()
+        assert any("undecodable" in w for w in report.warnings)
+
+    def test_all_slots_corrupt_errors(self):
+        from repro.persist.format import SLOT_BASES
+        bed, _pm = self._persist_bed()
+        bed.fs.checkpoint()
+        for base in SLOT_BASES:
+            bed.fs.dev_write(bed.app, base,
+                             b"\xff" * 16 + b"\x00" * (4 * KB - 16))
+        report = check_filesystem(bed.fs)
+        assert any("no persistence slot" in e for e in report.errors)
+
+    def test_future_serial_errors(self):
+        from repro.persist.format import SLOT_BASES, encode_slot
+        from repro.persist.format import PersistImage
+        bed, _pm = self._persist_bed()
+        bed.fs.checkpoint()
+        bogus = PersistImage(serial=10_000, sections={})
+        bed.fs.dev_write(bed.app, SLOT_BASES[1], encode_slot(bogus))
+        report = check_filesystem(bed.fs)
+        assert any("ahead of" in e for e in report.errors)
+
+
+class TestCheckerImapCleanSegment:
+    def test_detects_inode_in_clean_segment(self, lfs):
+        from repro.lfs.ifile import SEG_CLEAN
+        lfs.write_path("/x", b"abc" * 2000)
+        lfs.checkpoint()
+        inum = lfs.lookup("/x")
+        segno = lfs.segno_of(lfs.ifile.imap_entry(inum).daddr)
+        lfs.ifile.seguse(segno).flags = SEG_CLEAN
+        report = check_filesystem(lfs)
+        assert any("clean segment" in e for e in report.errors)
+
+
 class TestCheckerVerifiedStress:
     """Random operation storms, then the checker must pass."""
 
