@@ -16,7 +16,14 @@ cannot enforce for us:
 * metric label sets are bounded literals, matching the registry's
   cardinality cap (HL005);
 * the filesystem core never swallows errors with blind ``except``
-  clauses (HL006).
+  clauses (HL006);
+
+and, on top of the whole-program index in :mod:`repro.analysis.program`,
+the interprocedural invariants: borrowed extent ranges must not escape
+their lending call (HL011), one actor must not mutate another actor's
+clock or account (HL012), and no simulation function's call closure may
+reach a wall-clock source (HL013).  The runtime counterpart of HL011
+lives in :mod:`repro.analysis.sanitize` (``REPRO_SANITIZE=borrow``).
 
 ``python -m repro.analysis src`` runs every rule over a source tree and
 exits non-zero on findings; ``tests/test_analysis_clean.py`` runs the
@@ -40,11 +47,14 @@ __all__ = [
 ]
 
 
-def run_paths(paths, rules=None) -> "AnalysisResult":
+def run_paths(paths, rules=None, jobs=1, index_cache=None) -> "AnalysisResult":
     """Analyze ``paths`` (files or directories) with ``rules``.
 
     This is the library/pytest entry point; the CLI in
-    :mod:`repro.analysis.cli` is a thin wrapper around it.
+    :mod:`repro.analysis.cli` is a thin wrapper around it.  ``jobs``
+    parallelizes source loading (results are identical either way);
+    ``index_cache`` persists program-index summaries between runs.
     """
-    analyzer = Analyzer(rules if rules is not None else default_rules())
-    return analyzer.run(paths)
+    analyzer = Analyzer(rules if rules is not None else default_rules(),
+                        index_cache=index_cache)
+    return analyzer.run(paths, jobs=jobs)

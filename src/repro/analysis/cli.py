@@ -1,6 +1,15 @@
 """Command-line driver: ``python -m repro.analysis [paths...]``.
 
-Exit status: 0 clean, 1 findings (or unparseable files), 2 usage error.
+Exit status is a pinned contract (tests/test_analysis.py::TestCLI):
+0 clean, 1 findings (or unparseable files), 2 framework/usage error.
+
+``--format`` selects text (default), ``json`` (the byte-deterministic
+result dictionary), ``sarif`` (SARIF 2.1.0 for code-scanning upload),
+or ``github`` (inline ``::error`` annotations for Actions runs).
+``--jobs`` parallelizes source loading; ``--index-cache`` persists the
+whole-program summary cache across runs (CI keys it on source hashes).
+Program-index build accounting goes to stderr so every format's stdout
+stays deterministic.
 """
 
 from __future__ import annotations
@@ -8,9 +17,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.core import AnalysisError, Analyzer, Rule
+from repro.analysis.formats import to_github, to_sarif
 from repro.analysis.rules import ALL_RULES, default_rules
 
 
@@ -40,15 +51,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="HighLight domain-specific static analysis "
-                    "(invariants HL001-HL007; see docs/ANALYSIS.md)")
+                    "(invariants HL001-HL013; see docs/ANALYSIS.md)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to analyze "
                              "(default: src)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format",
+                        choices=("text", "json", "sarif", "github"),
                         default="text", help="output format")
     parser.add_argument("--select", metavar="CODES",
                         help="comma-separated rule codes to run "
                              "(default: all)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallel source-loading workers "
+                             "(default: 1; output is identical either "
+                             "way)")
+    parser.add_argument("--index-cache", metavar="PATH", default=None,
+                        help="JSON file persisting per-module program-"
+                             "index summaries between runs")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     args = parser.parse_args(argv)
@@ -56,16 +75,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         print(_list_rules())
         return 0
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
 
     try:
-        analyzer = Analyzer(_select_rules(args.select))
-        result = analyzer.run(args.paths)
+        rules = _select_rules(args.select)
+        cache = Path(args.index_cache) if args.index_cache else None
+        analyzer = Analyzer(rules, index_cache=cache)
+        result = analyzer.run(args.paths, jobs=args.jobs)
     except AnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if result.index_stats is not None:
+        # Accounting goes to stderr: stdout must stay byte-identical
+        # across runs for the determinism contract.
+        print(result.index_stats.format(), file=sys.stderr)
+
     if args.format == "json":
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(result, rules), indent=2,
+                         sort_keys=True))
+    elif args.format == "github":
+        for line in to_github(result):
+            print(line)
+        print(f"{len(result.findings)} finding(s) in "
+              f"{result.files_analyzed} file(s)", file=sys.stderr)
     else:
         for finding in result.findings:
             print(finding.format())

@@ -11,7 +11,11 @@ like HL004 can collect repo-wide facts before judging individual lines.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import threading
+import tokenize
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
@@ -59,6 +63,15 @@ class Finding:
                 "code": self.code, "message": self.message}
 
 
+#: CPython 3.11 tracks the AST constructor's recursion depth in
+#: *per-interpreter* state (Python-ast.c), so two ``compile()`` calls
+#: overlapping across threads corrupt the counter and raise
+#: ``SystemError: AST constructor recursion depth mismatch``.  Parsing
+#: therefore serializes on this lock; file reads and the tokenize scan
+#: still run in parallel under ``--jobs``.
+_AST_PARSE_LOCK = threading.Lock()
+
+
 class SourceFile:
     """A parsed module plus the metadata rules match against."""
 
@@ -66,19 +79,25 @@ class SourceFile:
         self.path = path
         self.display_path = display_path
         self.text = text
-        self.tree = ast.parse(text, filename=str(path))
+        with _AST_PARSE_LOCK:
+            self.tree = ast.parse(text, filename=str(path))
         self.module = dotted_name(path)
         #: line -> frozenset of suppressed codes; empty set = blanket noqa.
+        #: Only real COMMENT tokens count — a ``"# noqa"`` inside a string
+        #: literal must not suppress anything, so the scan tokenizes the
+        #: source instead of regexing raw lines.
         self.noqa: Dict[int, FrozenSet[str]] = {}
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            match = _NOQA_RE.search(line)
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(tok.string)
             if match is None:
                 continue
             codes = match.group("codes")
             if codes is None:
-                self.noqa[lineno] = frozenset()
+                self.noqa[tok.start[0]] = frozenset()
             else:
-                self.noqa[lineno] = frozenset(
+                self.noqa[tok.start[0]] = frozenset(
                     c.strip().upper() for c in codes.split(","))
 
     def suppresses(self, finding: Finding) -> bool:
@@ -132,6 +151,9 @@ class Rule:
     rationale: str = ""
     scope: Tuple[str, ...] = ()
     exempt: Tuple[str, ...] = ()
+    #: Interprocedural rules set this; the Analyzer then builds one
+    #: shared ProgramIndex per run and calls :meth:`prepare_program`.
+    uses_program: bool = False
 
     def __init__(self, scope: Optional[Tuple[str, ...]] = None,
                  exempt: Optional[Tuple[str, ...]] = None) -> None:
@@ -153,6 +175,10 @@ class Rule:
     def prepare(self, files: Sequence[SourceFile]) -> None:
         """Optional repo-wide fact-collection pass before :meth:`check`."""
 
+    def prepare_program(self, program) -> None:
+        """Receive the shared whole-program index (``uses_program`` rules
+        only); called after :meth:`prepare`, before any :meth:`check`."""
+
     def check(self, sf: SourceFile) -> List[Finding]:
         raise NotImplementedError
 
@@ -172,6 +198,10 @@ class AnalysisResult:
     suppressed: List[Finding] = field(default_factory=list)
     files_analyzed: int = 0
     errors: List[str] = field(default_factory=list)
+    #: Program-index build accounting (None when no rule needed it).
+    #: Deliberately excluded from :meth:`to_dict`: build timing would
+    #: break byte-identical output determinism.
+    index_stats: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -197,50 +227,95 @@ class AnalysisResult:
 class Analyzer:
     """Loads sources, runs every rule, filters ``# noqa`` suppressions."""
 
-    def __init__(self, rules: Sequence[Rule]) -> None:
+    def __init__(self, rules: Sequence[Rule],
+                 index_cache: Optional[Path] = None) -> None:
         codes = [r.code for r in rules]
         dupes = {c for c in codes if codes.count(c) > 1}
         if dupes:
             raise AnalysisError(f"duplicate rule codes: {sorted(dupes)}")
         self.rules = list(rules)
+        #: On-disk summary-cache location for the whole-program index.
+        self.index_cache = index_cache
 
     # -- source loading ----------------------------------------------------
 
     @staticmethod
     def collect_files(paths: Iterable[str]) -> List[Path]:
+        """Expand ``paths`` to the ordered, deduplicated file list.
+
+        Overlapping inputs (a directory plus a file inside it, the same
+        path twice) must not analyze — and double-report — a file twice,
+        so collection dedupes on the resolved path while keeping the
+        first-seen order.
+        """
         out: List[Path] = []
+        seen: set = set()
         for raw in paths:
             p = Path(raw)
             if p.is_dir():
-                out.extend(sorted(p.rglob("*.py")))
+                candidates: List[Path] = sorted(p.rglob("*.py"))
             elif p.is_file():
-                out.append(p)
+                candidates = [p]
             else:
                 raise AnalysisError(f"no such file or directory: {raw}")
+            for candidate in candidates:
+                key = candidate.resolve()
+                if key not in seen:
+                    seen.add(key)
+                    out.append(candidate)
         return out
 
     def load(self, paths: Iterable[str],
-             errors: Optional[List[str]] = None) -> List[SourceFile]:
-        files: List[SourceFile] = []
-        for path in self.collect_files(paths):
+             errors: Optional[List[str]] = None,
+             jobs: int = 1) -> List[SourceFile]:
+        """Parse every collected file; ``jobs > 1`` parses in parallel.
+
+        Output is ordered by collection order either way, so serial and
+        parallel loads feed rules byte-identical input (pinned by the
+        determinism test in ``tests/test_analysis.py``).
+        """
+        collected = self.collect_files(paths)
+
+        def parse(path: Path):
             text = path.read_text(encoding="utf-8")
             try:
-                files.append(SourceFile(path, str(path), text))
+                return SourceFile(path, str(path), text), None
             except SyntaxError as exc:
-                if errors is None:
-                    raise
-                errors.append(f"{path}: syntax error: {exc.msg} "
+                return None, (f"{path}: syntax error: {exc.msg} "
                               f"(line {exc.lineno})")
+
+        if jobs > 1:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                parsed = list(pool.map(parse, collected))
+        else:
+            parsed = [parse(path) for path in collected]
+        files: List[SourceFile] = []
+        for sf, err in parsed:
+            if err is not None:
+                if errors is None:
+                    raise AnalysisError(err)
+                errors.append(err)
+            else:
+                files.append(sf)
         return files
 
     # -- driving -----------------------------------------------------------
 
-    def run(self, paths: Iterable[str]) -> AnalysisResult:
+    def run(self, paths: Iterable[str], jobs: int = 1) -> AnalysisResult:
         result = AnalysisResult()
-        files = self.load(paths, errors=result.errors)
+        files = self.load(paths, errors=result.errors, jobs=jobs)
         result.files_analyzed = len(files)
         for rule in self.rules:
             rule.prepare(files)
+        if any(rule.uses_program for rule in self.rules):
+            # One shared index per run; building it per rule would
+            # triple the dominant cost of a whole-tree pass.
+            from repro.analysis.program.index import ProgramIndex
+            program = ProgramIndex.build(files, cache_path=self.index_cache)
+            result.index_stats = program.stats
+            for rule in self.rules:
+                if rule.uses_program:
+                    rule.prepare_program(program)
         for sf in files:
             for rule in self.rules:
                 if not rule.applies_to(sf):

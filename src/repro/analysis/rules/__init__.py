@@ -19,6 +19,9 @@ from repro.analysis.rules.hl008_datapath_copy import HL008DatapathCopy
 from repro.analysis.rules.hl009_retry_discipline import HL009RetryDiscipline
 from repro.analysis.rules.hl010_checkpoint_discipline import (
     HL010CheckpointDiscipline)
+from repro.analysis.rules.hl011_borrow_escape import HL011BorrowEscape
+from repro.analysis.rules.hl012_actor_discipline import HL012ActorDiscipline
+from repro.analysis.rules.hl013_transitive_clock import HL013TransitiveClock
 
 ALL_RULES = (
     HL001ClockPurity,
@@ -31,6 +34,9 @@ ALL_RULES = (
     HL008DatapathCopy,
     HL009RetryDiscipline,
     HL010CheckpointDiscipline,
+    HL011BorrowEscape,
+    HL012ActorDiscipline,
+    HL013TransitiveClock,
 )
 
 __all__ = ["ALL_RULES", "default_rules"] + [cls.__name__ for cls in ALL_RULES]

@@ -1,0 +1,183 @@
+"""HL012: actors may not mutate each other's owned state directly.
+
+The cooperative simulation gives every actor its own clock and time
+account; causality between actors is established *only* through the
+scheduler and the timed channels (``repro.sim.scheduler``), which know
+how to order wakeups deterministically.  Code running on behalf of one
+actor that directly advances another actor's clock, sleeps it, or
+charges its account creates cross-actor causality the scheduler never
+sees — the classic symptom is a golden trace that reorders under an
+unrelated change.
+
+"Running on behalf of an actor" is the codebase's explicit convention:
+such functions take the executing actor as a parameter (named ``actor``
+or ``Actor``-annotated).  Within them, any *other* actor-valued
+expression — another actor parameter, a ``self.<attr>`` the program
+index knows holds an ``Actor``, or a name whose spelling marks it as an
+actor — is foreign state.  Actors constructed locally in the same
+function are owned by it and are fair game (that is how scenario
+drivers bootstrap), and the scheduler/channel layer itself
+(``repro.sim``) is exempt: it is the sanctioned mutation path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding, Rule, SourceFile
+from repro.analysis.program.summary import (ModuleResolver,
+                                            actor_param_names,
+                                            iter_functions)
+from repro.analysis.rules.util import dotted_chain
+
+#: ``<actor expr>.<suffix>(...)`` call shapes that mutate actor-owned
+#: state: the actor's own timeline, its clock, its time account.
+_MUTATOR_SUFFIXES: Tuple[Tuple[str, ...], ...] = (
+    ("sleep",),
+    ("sleep_until",),
+    ("clock", "advance"),
+    ("clock", "advance_to"),
+    ("account", "charge"),
+    ("account", "clear"),
+)
+
+
+def _actorish_name(name: str) -> bool:
+    """Spelling heuristic for actor-valued locals/params beyond the
+    executing ``actor`` parameter itself."""
+    return (name == "actor" or name.endswith("_actor")
+            or name.startswith("actor_"))
+
+
+class HL012ActorDiscipline(Rule):
+    code = "HL012"
+    name = "cross-actor-state"
+    rationale = ("one actor's code must not mutate another actor's "
+                 "clock, timeline, or account directly; cross-actor "
+                 "causality flows through the scheduler and timed "
+                 "channels, or trace determinism breaks")
+    #: The scheduler/channel layer is the sanctioned mutation path.
+    exempt = ("repro.sim",)
+    uses_program = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.program = None
+
+    def prepare_program(self, program) -> None:
+        self.program = program
+
+    def check(self, sf: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        resolver = ModuleResolver(sf)
+        for _, fn, class_qname in iter_functions(sf):
+            actor_params = actor_param_names(fn, resolver.imports)
+            if not actor_params:
+                continue  # not actor-context code
+            executing = ("actor" if "actor" in actor_params
+                         else actor_params[0])
+            foreign = self._foreign_bases(
+                fn, class_qname, resolver, actor_params, executing)
+            # local_actor_names types Actor-annotated *params* too, but a
+            # parameter's actor arrives from a caller — only actors
+            # constructed in this body are owned by it.
+            owned = set(resolver.local_actor_names(fn)) - set(actor_params)
+            findings.extend(self._scan(
+                sf, fn, executing, foreign, owned))
+        return findings
+
+    def _foreign_bases(self, fn: ast.AST, class_qname: Optional[str],
+                       resolver: ModuleResolver,
+                       actor_params: Sequence[str],
+                       executing: str) -> Set[str]:
+        """Dotted bases known to hold an actor that is NOT the executing
+        one: other actor params, and Actor-typed instance attributes."""
+        foreign: Set[str] = {p for p in actor_params if p != executing}
+        if class_qname and self.program is not None:
+            for attr in self.program.actor_attrs(class_qname):
+                foreign.add(f"self.{attr}")
+        return foreign
+
+    def _scan(self, sf: SourceFile, fn: ast.AST, executing: str,
+              foreign: Set[str], owned: Set[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                hit = self._mutator_base(node)
+                if hit is None:
+                    continue
+                base, suffix = hit
+                verdict = self._classify(base, executing, foreign, owned)
+                if verdict is not None:
+                    findings.append(self.finding(
+                        sf, node,
+                        f"cross-actor mutation '{base}.{suffix}(...)' "
+                        f"({verdict}); route it through the scheduler "
+                        f"or a timed channel (repro.sim)"))
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets
+                           if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    chain = dotted_chain(target)
+                    if chain is None or "." not in chain:
+                        continue
+                    base = self._owning_actor(chain, executing,
+                                              foreign, owned)
+                    if base is not None:
+                        findings.append(self.finding(
+                            sf, node,
+                            f"attribute store '{chain} = ...' writes "
+                            f"another actor's owned object ('{base}'); "
+                            f"only the owning actor or the scheduler "
+                            f"may"))
+        return findings
+
+    @staticmethod
+    def _mutator_base(call: ast.Call) -> Optional[Tuple[str, str]]:
+        """``(base, suffix)`` when the call matches a mutator shape:
+        ``peer.clock.advance(t)`` -> ``("peer", "clock.advance")``."""
+        chain = dotted_chain(call.func)
+        if chain is None:
+            return None
+        parts = chain.split(".")
+        for suffix in _MUTATOR_SUFFIXES:
+            n = len(suffix)
+            if len(parts) > n and tuple(parts[-n:]) == suffix:
+                return ".".join(parts[:-n]), ".".join(suffix)
+        return None
+
+    @staticmethod
+    def _classify(base: str, executing: str, foreign: Set[str],
+                  owned: Set[str]) -> Optional[str]:
+        """A diagnostic tag when ``base`` is a foreign actor, else None
+        (executing actor, locally-owned actor, or unknown receiver)."""
+        if base == executing or base in owned:
+            return None
+        if base in foreign:
+            return ("instance-held actor" if base.startswith("self.")
+                    else "actor parameter other than the executing one")
+        head = base.split(".")[0]
+        if head in owned:
+            return None
+        if _actorish_name(base.split(".")[-1]):
+            return "actor-named receiver"
+        return None
+
+    @staticmethod
+    def _owning_actor(chain: str, executing: str, foreign: Set[str],
+                      owned: Set[str]) -> Optional[str]:
+        """The foreign-actor prefix of an attribute-store chain, e.g.
+        ``peer.clock.now`` -> ``peer`` when ``peer`` is foreign."""
+        parts = chain.split(".")
+        for cut in range(1, len(parts)):
+            prefix = ".".join(parts[:cut])
+            if prefix == executing or prefix in owned:
+                return None
+            if prefix in foreign:
+                return prefix
+            if cut == 1 and _actorish_name(parts[0]) \
+                    and parts[0] != executing:
+                return prefix
+        return None

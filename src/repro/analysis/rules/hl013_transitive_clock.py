@@ -1,0 +1,62 @@
+"""HL013: simulation code may not reach a wall-clock source *indirectly*.
+
+HL001 flags the call site that touches ``time.time()``; this rule lifts
+the same invariant through the call graph.  A simulation-layer function
+whose transitive call closure reaches a real-time source is just as
+nondeterministic as one that calls it directly — the wall clock has
+merely been laundered through a helper, often in another module, where
+HL001's per-file view cannot see it.
+
+Only *indirect* reaches are reported (the direct call site is HL001's
+finding; duplicating it would double-count every violation), and the
+message carries the full witness path from the program index so the
+laundering chain is actionable: ``f -> helper -> time.time``.
+
+Scoped to the simulation layers (``repro.core``, ``repro.lfs``) where
+golden-trace determinism is load-bearing; host-side tooling (bench
+timing, the analyzer's own build clock) legitimately reads real time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.core import Finding, Rule, SourceFile
+from repro.analysis.program.summary import iter_functions
+
+
+class HL013TransitiveClock(Rule):
+    code = "HL013"
+    name = "transitive-clock-purity"
+    rationale = ("a simulation function whose call closure reaches a "
+                 "wall-clock source is nondeterministic even when the "
+                 "offending call lives in another module; HL001 lifted "
+                 "through the call graph")
+    scope = ("repro.core", "repro.lfs")
+    uses_program = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.program = None
+
+    def prepare_program(self, program) -> None:
+        self.program = program
+
+    def check(self, sf: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        if self.program is None:
+            return findings
+        for qname, fn, _ in iter_functions(sf):
+            reach = self.program.clock_reach.get(qname)
+            if reach is None:
+                continue
+            via, _descriptor = reach
+            if via is None:
+                continue  # direct call — HL001's finding, not ours
+            witness = self.program.clock_witness(qname) or [qname]
+            findings.append(self.finding(
+                sf, fn,
+                f"call closure reaches wall-clock source "
+                f"'{witness[-1]}' via {' -> '.join(witness)}; route "
+                f"simulated time through the virtual clock"))
+        return findings

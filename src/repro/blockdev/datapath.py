@@ -46,6 +46,8 @@ __all__ = [
     "ref_of",
     "refs_nbytes",
     "reset_copy_counter",
+    "sanitizer",
+    "set_sanitizer",
     "set_store_mode",
     "store_mode",
     "zeros",
@@ -79,6 +81,29 @@ def set_store_mode(mode: str) -> str:
                          f"expected one of {_MODES}")
     old, _mode = _mode, mode
     return old
+
+
+# -- borrow sanitizer registry -----------------------------------------------
+#
+# The runtime borrow sanitizer (repro.analysis.sanitize) registers itself
+# here; the stores call the three hooks through this indirection so the
+# block-device layer never imports the analysis package.  With nothing
+# installed the cost is one None check per store operation.
+
+_SANITIZER = None
+
+
+def set_sanitizer(san):
+    """Install (or, with None, remove) the borrow sanitizer; returns the
+    previously installed one."""
+    global _SANITIZER
+    old, _SANITIZER = _SANITIZER, san
+    return old
+
+
+def sanitizer():
+    """The installed borrow sanitizer, or None."""
+    return _SANITIZER
 
 
 # -- copy accounting ---------------------------------------------------------

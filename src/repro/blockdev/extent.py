@@ -40,7 +40,7 @@ from typing import List, Sequence
 
 from repro.blockdev.base import DataStore
 from repro.blockdev.datapath import (Buffer, ExtentRef, count_copy,
-                                     materialize_refs, zeros)
+                                     materialize_refs, sanitizer, zeros)
 
 __all__ = ["ExtentStore"]
 
@@ -72,13 +72,21 @@ class ExtentStore(DataStore):
             hi += 1
         return lo, hi
 
-    def _carve(self, blkno: int, end: int) -> int:
+    def _carve(self, blkno: int, end: int, release: bool = True) -> int:
         """Remove coverage of [blkno, end); returns the insertion index
         where a replacement extent starting at ``blkno`` belongs.
 
         Remainders of partially-overlapped extents are kept by trimming
         ``(start, off, nblocks)`` — no buffer bytes move.
+
+        ``release=False`` marks a carve that replaces the range with the
+        *identical bytes* (coalesce-on-read): outstanding borrows stay
+        valid, so the sanitizer must not poison them.
         """
+        if release:
+            san = sanitizer()
+            if san is not None:
+                san.on_release(self, blkno, end)
         lo, hi = self._span(blkno, end)
         if lo == hi:
             return lo
@@ -123,8 +131,8 @@ class ExtentStore(DataStore):
                 del self._starts[idx]
 
     def _place(self, blkno: int, nblocks: int, buf: Buffer,
-               off: int) -> None:
-        idx = self._carve(blkno, blkno + nblocks)
+               off: int, release: bool = True) -> None:
+        idx = self._carve(blkno, blkno + nblocks, release=release)
         self._insert(idx, blkno, nblocks, buf, off)
 
     # -- scalar API (BlockStore-compatible) ---------------------------------
@@ -150,8 +158,10 @@ class ExtentStore(DataStore):
         data = b"".join(r.view() for r in refs)
         # Coalesce-on-read: only a hole-free range may be stored back as
         # one extent — re-writing a hole would corrupt is_written().
+        # The replacement holds the identical bytes, so outstanding
+        # borrows stay valid: release=False keeps the sanitizer quiet.
         if self.written_in_range(blkno, nblocks) == nblocks:
-            self._place(blkno, nblocks, data, 0)
+            self._place(blkno, nblocks, data, 0, release=False)
         return data
 
     def write(self, blkno: int, data: Buffer) -> None:
@@ -219,6 +229,9 @@ class ExtentStore(DataStore):
         if cursor < end:
             gap = (end - cursor) * bs
             refs.append(ExtentRef(zeros(gap), 0, gap))
+        san = sanitizer()
+        if san is not None:
+            refs = san.on_borrow(self, blkno, refs)
         return refs
 
     def write_refs(self, blkno: int, refs: Sequence[ExtentRef]) -> None:
@@ -231,9 +244,13 @@ class ExtentStore(DataStore):
         total = sum(r.nbytes for r in refs)
         self._check_aligned(total)
         self.check_range(blkno, total // bs)
+        san = sanitizer()
         if any(r.nbytes % bs for r in refs):
-            # Unaligned pieces: fall back to one materialized image.
+            # Unaligned pieces: fall back to one materialized image
+            # (reading the refs' bytes, so adoption is notified after).
             self.write(blkno, materialize_refs(refs))
+            if san is not None:
+                san.on_adopt(self, refs)
             return
         idx = self._carve(blkno, blkno + total // bs)
         cursor = blkno
@@ -244,6 +261,8 @@ class ExtentStore(DataStore):
             self._insert(idx, cursor, n, r.buf, r.start)
             idx = self._span(cursor, cursor + n)[1]
             cursor += n
+        if san is not None:
+            san.on_adopt(self, refs)
 
     def readv(self, blkno: int, nblocks: int) -> List[memoryview]:
         """Zero-copy views covering the request (zeros for holes)."""
@@ -261,6 +280,12 @@ class ExtentStore(DataStore):
         if not isinstance(image, list):
             from repro.errors import InvalidArgument
             raise InvalidArgument("not an ExtentStore image")
+        san = sanitizer()
+        if san is not None:
+            # Wholesale content replacement: every outstanding borrow of
+            # this store is now stale.
+            san.on_release(self, 0, self.capacity_blocks,
+                           reason="replaced by a media-image restore")
         self._exts = [[s, n, buf, off] for s, n, buf, off in image]
         self._starts = [row[_START] for row in self._exts]
         self._written = sum(row[_NBLK] for row in self._exts)

@@ -124,10 +124,18 @@ class JukeboxFootprint(FootprintInterface):
         self._inject(actor, "write", volume_id, blkno,
                      refs_nbytes(refs)
                      // (self.jukebox.volume(volume_id).block_size or 1))
+        observed = None
+        if self.write_observer is not None:
+            # Capture windows while the borrow is still live: the drive's
+            # write_refs adopts (moves) the refs, and viewing a moved ref
+            # is a borrow-sanitizer trap.  Views taken now stay valid —
+            # extent buffers are never mutated in place — and the observer
+            # still only fires after the write succeeds.
+            observed = [ExtentRef(r.view(), 0, r.nbytes) for r in refs]
         self.jukebox.drives[idx].write_refs(actor, blkno, refs)
         self._account("write", refs_nbytes(refs), actor.time - t0)
         if self.write_observer is not None:
-            self.write_observer(volume_id, blkno, refs)
+            self.write_observer(volume_id, blkno, observed)
 
     @staticmethod
     def _account(op: str, nbytes: int, seconds: float) -> None:

@@ -1,0 +1,36 @@
+"""HL012 fixture: cross-actor state discipline (never imported)."""
+
+from repro.sim.actor import Actor
+
+
+class Migrator:
+    def __init__(self, clock, account):
+        self.peer = Actor("peer", clock, account)  # ok: construction
+        self.queue = None
+
+    def bad_instance_actor(self, actor, nbytes):
+        self.peer.sleep(1.0)                       # finding: held actor
+        self.peer.account.charge("io", nbytes)     # finding: held actor
+        actor.sleep(0.5)                           # ok: executing actor
+
+    def good_channel(self, actor, item):
+        self.queue.put(actor, item)                # ok: channel API
+        actor.clock.advance(2.0)                   # ok: own clock
+
+
+def bad_param_pair(actor, peer_actor):
+    peer_actor.sleep_until(10.0)                   # finding: other param
+    peer_actor.clock.advance(1.0)                  # finding: other param
+    peer_actor.name = "hijacked"                   # finding: foreign store
+    actor.sleep(1.0)                               # ok: executing actor
+
+
+def bad_annotated(actor, victim: Actor):
+    victim.clock.advance_to(5.0)                   # finding: Actor param
+
+
+def good_owned_actor(actor, clock, account):
+    app = Actor("app", clock, account)
+    app.sleep(3.0)                                 # ok: locally owned
+    app.account.charge("cpu", 10)                  # ok: locally owned
+    actor.sleep(1.0)                               # ok: executing actor

@@ -1,0 +1,16 @@
+"""Regression: a '# noqa' inside a string literal must not suppress.
+
+The suppression scan tokenizes the source and only honors real COMMENT
+tokens; before that, a raw-line regex let the string below mask the
+wall-clock call on the same line.
+"""
+
+import time
+
+
+def bad_with_string_decoy():
+    return time.time(), "decoy # noqa: HL001"     # finding: string is inert
+
+
+def good_real_comment():
+    return time.time()  # noqa: HL001

@@ -1,0 +1,21 @@
+"""HL013 fixture: transitive wall-clock reach (never imported)."""
+
+import time
+
+
+def _stamp():
+    return time.time()            # direct: HL001's finding, not HL013's
+
+
+def _indirection():               # finding: one hop from time.time
+    return _stamp()
+
+
+def bad_transitive(segments):     # finding: two hops from time.time
+    started = _indirection()
+    return started, len(segments)
+
+
+def good_virtual(clock, segments):
+    started = clock.now()         # ok: virtual clock
+    return started, len(segments)

@@ -31,6 +31,18 @@ def _fresh_observability():
     yield
 
 
+@pytest.fixture(autouse=True)
+def _borrow_sanitizer():
+    """With ``REPRO_SANITIZE=borrow`` in the environment, every test runs
+    with the runtime borrow sanitizer armed (CI runs the crash-consistency
+    and extent suites this way); otherwise this is a no-op."""
+    from repro.analysis import sanitize
+    san = sanitize.install_from_env()
+    yield
+    if san is not None:
+        sanitize.uninstall()
+
+
 @pytest.fixture
 def app():
     return Actor("app")

@@ -28,6 +28,9 @@ from repro.analysis.rules.hl008_datapath_copy import HL008DatapathCopy
 from repro.analysis.rules.hl009_retry_discipline import HL009RetryDiscipline
 from repro.analysis.rules.hl010_checkpoint_discipline import (
     HL010CheckpointDiscipline)
+from repro.analysis.rules.hl011_borrow_escape import HL011BorrowEscape
+from repro.analysis.rules.hl012_actor_discipline import HL012ActorDiscipline
+from repro.analysis.rules.hl013_transitive_clock import HL013TransitiveClock
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 
@@ -142,6 +145,72 @@ class TestRuleFixtures:
         assert "checkpoint_mark" in first.message
         assert "checkpoint_commit" in first.message
 
+    def test_hl011_borrow_escape(self):
+        result = analyze("hl011_borrow.py", [HL011BorrowEscape()])
+        assert lines_of(result, "HL011") == [18, 22, 26, 27, 32, 33, 37]
+        # Returning a borrow, handing it to write_refs, local-only use,
+        # and keeping a *copy* all stay clean.
+        kinds = sorted({f.message.split("(")[1].split(")")[0]
+                        for f in result.findings if "escape" in f.message})
+        assert kinds == ["container", "mutation", "self"]
+
+    def test_hl011_interprocedural_source(self):
+        # Line 37 stashes the result of a *helper* that lends borrows;
+        # only the call-graph fixpoint can see that it is a borrow.
+        result = analyze("hl011_borrow.py", [HL011BorrowEscape()])
+        f = next(f for f in result.findings if f.line == 37)
+        assert "self.cached" in f.message
+
+    def test_hl011_exempt_inside_datapath(self):
+        rule = HL011BorrowEscape(exempt=("hl011_borrow",))
+        result = analyze("hl011_borrow.py", [rule])
+        assert result.findings == []
+
+    def test_hl012_actor_discipline(self):
+        result = analyze("hl012_actor.py", [HL012ActorDiscipline()])
+        assert lines_of(result, "HL012") == [12, 13, 22, 23, 24, 29]
+        # Executing-actor mutation, locally-owned actors, construction,
+        # and channel puts all stay clean.
+        assert all(f.line <= 29 for f in result.findings)
+
+    def test_hl012_instance_actor_needs_the_index(self):
+        # Lines 12-13 mutate self.peer, typed Actor only via the
+        # program index's attribute-type table.
+        result = analyze("hl012_actor.py", [HL012ActorDiscipline()])
+        assert {f.line for f in result.findings
+                if "instance-held actor" in f.message} == {12, 13}
+
+    def test_hl012_exempt_inside_sim(self):
+        rule = HL012ActorDiscipline(exempt=("hl012_actor",))
+        result = analyze("hl012_actor.py", [rule])
+        assert result.findings == []
+
+    def test_hl013_transitive_clock(self):
+        result = analyze("repro/core/hl013_clock.py",
+                         [HL013TransitiveClock()])
+        assert lines_of(result, "HL013") == [10, 14]
+
+    def test_hl013_skips_the_direct_call_site(self):
+        # The function that calls time.time() itself is HL001's finding;
+        # HL013 must not double-report it.
+        result = analyze("repro/core/hl013_clock.py",
+                         [HL013TransitiveClock()])
+        assert all(f.line != 6 for f in result.findings)
+
+    def test_hl013_message_carries_the_witness_path(self):
+        result = analyze("repro/core/hl013_clock.py",
+                         [HL013TransitiveClock()])
+        f = next(f for f in result.findings if f.line == 14)
+        assert "bad_transitive -> " in f.message
+        assert "_indirection -> " in f.message
+        assert f.message.count("time.time") >= 1
+
+    def test_hl013_out_of_scope_module_is_silent(self):
+        # The same laundering pattern outside repro.core/repro.lfs is
+        # host-side tooling and stays unflagged.
+        result = analyze("hl_noqa_strings.py", [HL013TransitiveClock()])
+        assert result.findings == []
+
 
 # ---------------------------------------------------------------------------
 # Suppression (# noqa) semantics
@@ -160,6 +229,13 @@ class TestNoqa:
         assert all(f.code == "HL001" for f in result.suppressed)
         assert result.ok is False  # line 13 still counts
 
+    def test_noqa_inside_a_string_literal_is_inert(self):
+        # Regression: the scan once regexed raw lines, so a string
+        # containing "# noqa: HL001" masked a violation on its line.
+        result = analyze("hl_noqa_strings.py", [HL001ClockPurity()])
+        assert lines_of(result, "HL001") == [12]
+        assert sorted(f.line for f in result.suppressed) == [16]
+
 
 # ---------------------------------------------------------------------------
 # Framework behavior
@@ -168,7 +244,7 @@ class TestNoqa:
 class TestFramework:
     def test_all_rules_have_distinct_codes_and_docs(self):
         codes = [r.code for r in ALL_RULES]
-        assert len(set(codes)) == len(codes) == 10
+        assert len(set(codes)) == len(codes) == 13
         for rule_cls in ALL_RULES:
             assert rule_cls.code.startswith("HL")
             assert rule_cls.name
@@ -256,6 +332,64 @@ class TestCLI:
         assert proc.returncode == 0
         for rule_cls in ALL_RULES:
             assert rule_cls.code in proc.stdout
+
+    def test_sarif_format(self):
+        proc = run_cli(str(FIXTURES / "hl002_device.py"),
+                       "--format", "sarif")
+        assert proc.returncode == 1
+        log = json.loads(proc.stdout)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analysis"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"HL001", "HL011", "HL012", "HL013"} <= rule_ids
+        results = run["results"]
+        assert results and all(r["ruleId"] == "HL002" for r in results)
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_sarif_clean_run_exits_zero_with_empty_results(self):
+        proc = run_cli(str(FIXTURES / "repro" / "lfs" / "hl006_except.py"),
+                       "--select", "HL001", "--format", "sarif")
+        assert proc.returncode == 0
+        log = json.loads(proc.stdout)
+        assert log["runs"][0]["results"] == []
+
+    def test_github_format(self):
+        proc = run_cli(str(FIXTURES / "hl002_device.py"),
+                       "--format", "github")
+        assert proc.returncode == 1
+        lines = [ln for ln in proc.stdout.splitlines() if ln]
+        assert lines
+        assert all(ln.startswith("::error file=") for ln in lines)
+        assert "title=HL002" in lines[0]
+
+    def test_jobs_flag_is_output_invariant(self):
+        base = run_cli(str(FIXTURES), "--format", "json")
+        jobs = run_cli(str(FIXTURES), "--format", "json", "--jobs", "4")
+        assert base.returncode == jobs.returncode == 1
+        assert base.stdout == jobs.stdout
+
+    def test_nonpositive_jobs_is_usage_error(self):
+        proc = run_cli("src", "--jobs", "0")
+        assert proc.returncode == 2
+
+    def test_index_cache_writes_then_reuses(self, tmp_path):
+        cache = tmp_path / "index-cache.json"
+        first = run_cli("src/repro/analysis", "--index-cache", str(cache))
+        assert first.returncode == 0, first.stdout + first.stderr
+        assert cache.is_file()
+        assert "0 summarized from cache" in first.stderr
+        second = run_cli("src/repro/analysis", "--index-cache", str(cache))
+        assert second.returncode == 0
+        assert "summarized from cache" in second.stderr
+        assert "0 summarized from cache" not in second.stderr
+
+    def test_index_stats_go_to_stderr_not_stdout(self):
+        proc = run_cli("src/repro/analysis", "--format", "json")
+        assert "program index" in proc.stderr
+        assert "program index" not in proc.stdout
+        json.loads(proc.stdout)  # stdout stays pure JSON
 
 
 # ---------------------------------------------------------------------------

@@ -23,13 +23,21 @@ def test_src_tree_is_clean():
 
 def test_suppression_budget():
     result = run_paths([SRC])
-    # bench/ is the only sanctioned suppression site: the Table-5
-    # benchmark measures the bare device on purpose (HL002, and its
-    # dd-style 1 MB loop shape trips HL008), and the perf harness
-    # measures host wall-clock time on purpose (HL001).
-    assert len(result.suppressed) == 8
-    assert all("bench" in f.path for f in result.suppressed)
+    # Two sanctioned suppression sites.  bench/: the Table-5 benchmark
+    # measures the bare device on purpose (HL002, and its dd-style 1 MB
+    # loop shape trips HL008), and the perf harness measures host
+    # wall-clock time on purpose (HL001).  analysis/program/index.py:
+    # the program-index build clocks itself with the host perf counter
+    # for the CI log — tooling that never runs inside the simulation
+    # (HL001, two call sites).
+    assert len(result.suppressed) == 10
+    assert all("bench" in f.path or "analysis" in f.path
+               for f in result.suppressed)
     assert {f.code for f in result.suppressed} == {"HL001", "HL002", "HL008"}
+    in_analysis = [f for f in result.suppressed if "analysis" in f.path]
+    assert len(in_analysis) == 2
+    assert all(f.code == "HL001" and "program/index.py" in f.path
+               for f in in_analysis)
 
 
 def test_no_suppressions_in_core_or_lfs():
