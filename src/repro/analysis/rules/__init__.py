@@ -22,6 +22,7 @@ from repro.analysis.rules.hl010_checkpoint_discipline import (
 from repro.analysis.rules.hl011_borrow_escape import HL011BorrowEscape
 from repro.analysis.rules.hl012_actor_discipline import HL012ActorDiscipline
 from repro.analysis.rules.hl013_transitive_clock import HL013TransitiveClock
+from repro.analysis.rules.hl014_cluster_locality import HL014ClusterLocality
 
 ALL_RULES = (
     HL001ClockPurity,
@@ -37,6 +38,7 @@ ALL_RULES = (
     HL011BorrowEscape,
     HL012ActorDiscipline,
     HL013TransitiveClock,
+    HL014ClusterLocality,
 )
 
 __all__ = ["ALL_RULES", "default_rules"] + [cls.__name__ for cls in ALL_RULES]

@@ -57,8 +57,13 @@ class HL012ActorDiscipline(Rule):
                  "clock, timeline, or account directly; cross-actor "
                  "causality flows through the scheduler and timed "
                  "channels, or trace determinism breaks")
-    #: The scheduler/channel layer is the sanctioned mutation path.
-    exempt = ("repro.sim",)
+    #: The scheduler/channel layer is the sanctioned mutation path —
+    #: and so is the cluster's routing/migration layer, which performs
+    #: the documented conservative join of the shared-nothing shard
+    #: timelines (requests arrive at the client's time, shards serve on
+    #: their own timelines, the client resumes at the latest
+    #: completion; see repro.cluster.router).
+    exempt = ("repro.sim", "repro.cluster.router", "repro.cluster.migrate")
     uses_program = True
 
     def __init__(self, *args, **kwargs) -> None:

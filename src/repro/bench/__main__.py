@@ -4,6 +4,7 @@ Usage:
     python3 -m repro.bench                        # everything
     python3 -m repro.bench table2 fig4            # a selection
     python3 -m repro.bench --scenario contention  # mixed-load scenarios
+    python3 -m repro.bench --list-scenarios       # what --scenario accepts
     python3 -m repro.bench --perf [--quick]       # wall-clock seg-I/O perf
 """
 
@@ -41,15 +42,30 @@ def main(argv: list[str]) -> int:
             return 2
         from repro.bench import perf
         return perf.main(quick=quick)
+    if "--list-scenarios" in args:
+        args.remove("--list-scenarios")
+        if args:
+            print("--list-scenarios takes no other arguments, "
+                  f"got: {', '.join(args)}")
+            return 2
+        for name, runner in scenarios.SCENARIOS.items():
+            doc = (runner.__doc__ or "").strip().split("\n")[0]
+            print(f"{name:12s} {doc}")
+        return 0
     scenario_names: list[str] = []
     while "--scenario" in args:
         idx = args.index("--scenario")
         try:
-            scenario_names.append(args[idx + 1])
+            name = args[idx + 1]
         except IndexError:
             print("--scenario needs a name; "
                   f"available: {', '.join(scenarios.SCENARIOS)}")
             return 2
+        # A scenario named twice runs once: repeated runs of the same
+        # seeded scenario add nothing, and the second obs.reset() would
+        # wipe the first run's snapshot context anyway.
+        if name not in scenario_names:
+            scenario_names.append(name)
         del args[idx:idx + 2]
     unknown = [n for n in scenario_names if n not in scenarios.SCENARIOS]
     if unknown:

@@ -500,8 +500,11 @@ def run_crashes(quick: bool = False) -> Tuple[Dict[str, float], str]:
     return data, "\n".join(lines)
 
 
+from repro.bench.cluster_scenario import run_cluster  # noqa: E402
+
 SCENARIOS = {
     "contention": run_contention,
     "chaos": run_chaos,
     "crashes": run_crashes,
+    "cluster": run_cluster,
 }

@@ -1,0 +1,70 @@
+"""Per-shard and cluster-wide observability rollups.
+
+One call summarizes the whole cluster into plain numbers and mirrors
+them into ``cluster_*`` gauges, so a single obs snapshot taken after a
+bench run carries the per-shard breakdown next to the cluster totals —
+the same pattern the single-node stack uses for Table 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import obs
+from repro.cluster.router import ClusterRouter
+
+__all__ = ["cluster_rollup"]
+
+
+def cluster_rollup(router: ClusterRouter) -> Dict[str, object]:
+    """Summarize the cluster; sets ``cluster_*`` gauges as a side effect.
+
+    Returns ``{"shards": {shard_id: {...}}, "cluster": {...}}``.
+    """
+    shards: Dict[int, Dict[str, float]] = {}
+    total_objects = 0
+    total_bytes = 0
+    total_fetches = 0
+    degraded = 0
+    for shard_id in sorted(router.nodes):
+        node = router.nodes[shard_id]
+        stats = node.fs.stats
+        is_degraded = node.degraded()
+        shards[shard_id] = {
+            "busy_seconds": node.actor.time,
+            "objects": float(len(node.objects)),
+            "object_bytes": float(sum(node.objects.values())),
+            "demand_fetches": float(stats.demand_fetches),
+            "blocks_read": float(stats.blocks_read),
+            "blocks_written": float(stats.blocks_written),
+            "serving_volumes": float(len(node.serving_volumes())),
+            "degraded": 1.0 if is_degraded else 0.0,
+        }
+        total_objects += len(node.objects)
+        total_bytes += sum(node.objects.values())
+        total_fetches += stats.demand_fetches
+        degraded += 1 if is_degraded else 0
+        for name, value in shards[shard_id].items():
+            obs.gauge(f"cluster_shard_{name}",
+                      "per-shard rollup (see repro.cluster.rollup)",
+                      ("shard",)).labels(shard=shard_id).set(value)
+
+    busy = [s["busy_seconds"] for s in shards.values()]
+    makespan = max(busy) if busy else 0.0
+    mean_busy = sum(busy) / len(busy) if busy else 0.0
+    cluster = {
+        "shards": float(len(shards)),
+        "makespan_seconds": makespan,
+        "busy_imbalance": (makespan / mean_busy) if mean_busy else 0.0,
+        "objects": float(total_objects),
+        "object_bytes": float(total_bytes),
+        "demand_fetches": float(total_fetches),
+        "degraded_shards": float(degraded),
+        "placed_extents": float(len(router.placement)),
+        "files": float(len(router.namespace)),
+    }
+    for name, value in cluster.items():
+        obs.gauge(f"cluster_{name}",
+                  "cluster-wide rollup (see repro.cluster.rollup)"
+                  ).set(value)
+    return {"shards": shards, "cluster": cluster}

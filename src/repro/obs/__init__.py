@@ -45,6 +45,7 @@ __all__ = [
     "metrics", "trace", "set_metrics", "set_trace",
     "counter", "gauge", "histogram", "event",
     "enable", "disable", "reset",
+    "register_flusher", "flush",
 ]
 
 _metrics = MetricsRegistry()
@@ -100,6 +101,31 @@ def event(etype: str, t: float, **fields: object) -> Optional[TraceEvent]:
     return _trace.emit(etype, t, **fields)
 
 
+# -- lazy publication -------------------------------------------------------
+#
+# Hot paths that cannot afford a registry lookup per call (e.g. the
+# datapath copy ledger) accumulate into a plain process-local variable
+# and register a *flusher* here; the pending delta is published into the
+# registry right before anyone looks at it (snapshot) or wipes it
+# (reset), so readers never observe a stale metric.
+
+_flushers: list = []
+
+
+def register_flusher(fn) -> None:
+    """Register a callback that publishes lazily-accumulated counts into
+    the registry.  Idempotent; flushers run before every snapshot and
+    reset."""
+    if fn not in _flushers:
+        _flushers.append(fn)
+
+
+def flush() -> None:
+    """Run every registered flusher (pre-snapshot/pre-reset hook)."""
+    for fn in list(_flushers):
+        fn()
+
+
 # -- lifecycle --------------------------------------------------------------
 
 def enable() -> None:
@@ -115,5 +141,9 @@ def disable() -> None:
 
 def reset() -> None:
     """Zero all metrics and drop all events (run-boundary hygiene)."""
+    # Pending lazily-accumulated deltas belong to the run being wiped:
+    # publish them first so they die with the reset instead of leaking
+    # into the next run's counters.
+    flush()
     _metrics.reset()
     _trace.clear()

@@ -23,7 +23,9 @@ def snapshot(metrics: Optional[MetricsRegistry] = None,
              include_events: bool = True) -> Dict[str, object]:
     """One plain-dict view of the registry and the trace ring."""
     from repro import obs
-    metrics = metrics if metrics is not None else obs.metrics()
+    if metrics is None:
+        obs.flush()  # publish lazily-accumulated deltas before reading
+        metrics = obs.metrics()
     trace = trace if trace is not None else obs.trace()
     out: Dict[str, object] = {"metrics": metrics.snapshot()}
     trace_section: Dict[str, object] = {

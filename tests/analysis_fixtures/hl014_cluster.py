@@ -1,0 +1,31 @@
+"""HL014 fixture: foreign-shard data I/O around the router (never imported)."""
+
+
+def bad_foreign_shard_io(node, nodes, router, actor, data):
+    node.fs.write_path("/obj/x", data, actor=actor)      # finding: LFS write
+    img = node.fs.read_path("/obj/x", actor=actor)       # finding: LFS read
+    nodes[1].disk.write(actor, 0, data)                  # finding: device
+    router.nodes[2].fs.unlink("/obj/x", actor=actor)     # finding: unlink
+    node.jukebox.load(actor, 3)                          # finding: mount
+    node.fs.ioserver.fetch(actor, 7, 1)                  # finding: fetch
+    victim = nodes[0]
+    victim.migrator.migrate_file("/obj/x", actor)        # finding: migrate
+    return img
+
+
+def good_sanctioned_surfaces(node, nodes, router, client, actor, data):
+    router.write_path(client, "/data/a.bin", data)       # ok: the router
+    got = router.read_path(client, "/data/a.bin")        # ok: the router
+    node.write_object(actor, "k", data)                  # ok: object surface
+    node.read_object(actor, "k")                         # ok: object surface
+    node.migrate_object(actor, "k")                      # ok: object surface
+    stats = node.fs.stats                                # ok: introspection
+    vol, seg = node.fs.aspace.volume_of(9)               # ok: control plane
+    hints = node.migrator.hint_table                     # ok: attribute read
+    local_fs = build_local_fs()
+    local_fs.write_path("/mine", data, actor=actor)      # ok: own stack
+    return got, stats, vol, seg, hints
+
+
+def build_local_fs():
+    return object()

@@ -31,6 +31,7 @@ from repro.analysis.rules.hl010_checkpoint_discipline import (
 from repro.analysis.rules.hl011_borrow_escape import HL011BorrowEscape
 from repro.analysis.rules.hl012_actor_discipline import HL012ActorDiscipline
 from repro.analysis.rules.hl013_transitive_clock import HL013TransitiveClock
+from repro.analysis.rules.hl014_cluster_locality import HL014ClusterLocality
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 
@@ -211,6 +212,21 @@ class TestRuleFixtures:
         result = analyze("hl_noqa_strings.py", [HL013TransitiveClock()])
         assert result.findings == []
 
+    def test_hl014_cluster_locality(self):
+        result = analyze("hl014_cluster.py", [HL014ClusterLocality()])
+        assert lines_of(result, "HL014") == [5, 6, 7, 8, 9, 10, 12]
+
+    def test_hl014_sanctioned_surfaces_stay_clean(self):
+        # The router, the object surface, and control-plane
+        # introspection never fire.
+        result = analyze("hl014_cluster.py", [HL014ClusterLocality()])
+        assert all(f.line <= 12 for f in result.findings)
+
+    def test_hl014_exempt_inside_router(self):
+        rule = HL014ClusterLocality(exempt=("hl014_cluster",))
+        result = analyze("hl014_cluster.py", [rule])
+        assert result.findings == []
+
 
 # ---------------------------------------------------------------------------
 # Suppression (# noqa) semantics
@@ -244,7 +260,7 @@ class TestNoqa:
 class TestFramework:
     def test_all_rules_have_distinct_codes_and_docs(self):
         codes = [r.code for r in ALL_RULES]
-        assert len(set(codes)) == len(codes) == 13
+        assert len(set(codes)) == len(codes) == 14
         for rule_cls in ALL_RULES:
             assert rule_cls.code.startswith("HL")
             assert rule_cls.name
