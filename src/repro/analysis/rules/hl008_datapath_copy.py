@@ -17,7 +17,16 @@ copies that path removed:
 * reaching into a store's internals (``_blocks``, ``_extents``,
   ``_exts``, ``_starts``) outside ``repro.blockdev`` — code that walks
   the representation directly both copies per block and breaks when the
-  store flips between the extent and block-dict layouts.
+  store flips between the extent and block-dict layouts;
+
+* a ``for`` loop that constructs one :class:`ExtentRef` per iteration
+  while also issuing store/device block I/O — the run-based helpers
+  (``run_views``, one batched ``write_refs``/``writev``) move the whole
+  run with O(runs) refs, so a ref-per-iteration loop is the per-block
+  shape wearing zero-copy clothes.  Building the whole batch in a
+  comprehension and handing it to *one* vectored call is the sanctioned
+  form and stays clean, as do ``while`` loops that hand over one
+  accumulated region per pass (the staging spill shape).
 
 ``repro.blockdev`` itself is exempt: the stores and devices are where
 the per-block representation legitimately lives.
@@ -54,6 +63,34 @@ def _is_range_call(node: ast.AST) -> bool:
             and node.func.id == "range")
 
 
+def _is_extentref_ctor(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "ExtentRef"
+    return isinstance(func, ast.Attribute) and func.attr == "ExtentRef"
+
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp,
+                   ast.GeneratorExp)
+
+
+def _per_iteration_calls(loop: ast.For):
+    """Calls executed once per iteration of ``loop``'s body.
+
+    Calls nested inside comprehensions are excluded: a comprehension
+    builds a whole batch in one statement, which is exactly the
+    sanctioned run-based shape.
+    """
+    todo: List[ast.AST] = list(loop.body) + list(loop.orelse)
+    while todo:
+        node = todo.pop()
+        if isinstance(node, _COMPREHENSIONS):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        todo.extend(ast.iter_child_nodes(node))
+
+
 def _target_names(target: ast.AST) -> FrozenSet[str]:
     """Names bound by a loop target (``i``, or ``i, j`` tuples)."""
     return frozenset(n.id for n in ast.walk(target)
@@ -80,8 +117,10 @@ class HL008DatapathCopy(Rule):
     def check(self, sf: SourceFile) -> List[Finding]:
         findings: List[Finding] = []
         for node in ast.walk(sf.tree):
-            if isinstance(node, ast.For) and _is_range_call(node.iter):
-                findings.extend(self._check_range_loop(sf, node))
+            if isinstance(node, ast.For):
+                if _is_range_call(node.iter):
+                    findings.extend(self._check_range_loop(sf, node))
+                findings.extend(self._check_ref_loop(sf, node))
             elif isinstance(node, ast.Attribute):
                 if node.attr in _PRIVATE_STORE_ATTRS:
                     receiver = terminal_attr(node.value)
@@ -115,3 +154,25 @@ class HL008DatapathCopy(Rule):
                     f"move the whole range with one vectored "
                     f"read_refs/write_refs/readv/writev call"))
         return findings
+
+    def _check_ref_loop(self, sf: SourceFile,
+                        loop: ast.For) -> List[Finding]:
+        """Flag one-ExtentRef-per-iteration loops that also do block I/O."""
+        ref_ctors = []
+        does_block_io = False
+        for call in _per_iteration_calls(loop):
+            if _is_extentref_ctor(call):
+                ref_ctors.append(call)
+            elif isinstance(call.func, ast.Attribute) \
+                    and call.func.attr in _BLOCK_IO_METHODS \
+                    and terminal_attr(call.func.value) in _STORE_NAMES:
+                does_block_io = True
+        if not does_block_io:
+            return []
+        return [self.finding(
+            sf, call,
+            "loop constructs one ExtentRef per iteration next to "
+            "store/device block I/O; build the whole run with "
+            "run_views(...) or a comprehension and hand it to one "
+            "vectored write_refs/writev call")
+            for call in ref_ctors]

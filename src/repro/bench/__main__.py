@@ -5,7 +5,8 @@ Usage:
     python3 -m repro.bench table2 fig4            # a selection
     python3 -m repro.bench --scenario contention  # mixed-load scenarios
     python3 -m repro.bench --list-scenarios       # what --scenario accepts
-    python3 -m repro.bench --perf [--quick]       # wall-clock seg-I/O perf
+    python3 -m repro.bench --perf [--quick] [--profile]  # seg-I/O perf
+    python3 -m repro.bench --perf --check         # CI perf regression gate
 """
 
 from __future__ import annotations
@@ -37,11 +38,19 @@ def main(argv: list[str]) -> int:
         args.remove("--quick")
     if "--perf" in args:
         args.remove("--perf")
+        profile = "--profile" in args
+        if profile:
+            args.remove("--profile")
+        check = "--check" in args
+        if check:
+            args.remove("--check")
         if args:
             print(f"--perf takes no experiments, got: {', '.join(args)}")
             return 2
         from repro.bench import perf
-        return perf.main(quick=quick)
+        if check:
+            return perf.check_regression()
+        return perf.main(quick=quick, profile=profile)
     if "--list-scenarios" in args:
         args.remove("--list-scenarios")
         if args:

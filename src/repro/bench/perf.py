@@ -13,8 +13,24 @@ segment disk→tertiary→disk with at least 5× fewer copied bytes than the
 per-block dict baseline.  Virtual-time results are identical in both
 modes by construction, so the A/B isolates host-side copying.
 
+Wall-clock noise is tamed structurally: the modes run *interleaved* for
+``repeats`` rounds (extent, blockdict, extent, blockdict, ...) so cache
+warm-up and host jitter hit both sides equally, and each rate reports
+its best round (``--check`` uses the median instead, as its variance
+guard).  The deterministic counters are asserted identical across
+rounds.
+
 Usage:
-    python -m repro.bench --perf [--quick]
+    python -m repro.bench --perf [--quick] [--profile]
+    python -m repro.bench --perf --check       # CI regression gate
+
+``--profile`` additionally runs one pass per mode with a per-leg
+cProfile and writes the top hot sites to ``BENCH_segio_profile.txt``
+(also summarised in the JSON's ``profile`` section).  ``--check``
+re-runs the quick benchmark and compares the extent/blockdict wall
+ratio against the committed ``BENCH_segio.json`` — the committed file
+is full-mode and from another host, so absolute walls do not transfer,
+but the mode-to-mode ratio does.
 
 Writes ``BENCH_segio.json`` into the working directory (the repo root
 in CI).  Wall-clock rates vary with the host; the copied-bytes counters
@@ -23,9 +39,13 @@ are deterministic.
 
 from __future__ import annotations
 
+import cProfile
 import json
+import os
+import pstats
+import statistics
 import time
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro import obs
 from repro.bench import harness
@@ -47,18 +67,31 @@ def _now() -> float:
     return time.perf_counter()  # noqa: HL001 -- host-side perf harness
 
 OUTPUT_PATH = "BENCH_segio.json"
+PROFILE_PATH = "BENCH_segio_profile.txt"
 
 #: Payload size (1 MB segments, so this is also the segment count).
 FILE_MB_FULL = 8
 FILE_MB_QUICK = 2
+
+#: The four timed legs, in run order.
+LEGS = ("write", "read", "clean", "migrate_fetch")
+
+#: Interleaved rounds per mode; rates keep their best round.
+REPEATS = 3
 
 
 def _rate(segments: int, seconds: float) -> float:
     return segments / seconds if seconds > 0 else float("inf")
 
 
-def _run_mode(mode: str, file_mb: int) -> Dict[str, float]:
-    """One full pass of all four phases under ``mode``."""
+def _run_mode(mode: str, file_mb: int,
+              profilers: Optional[Dict[str, cProfile.Profile]] = None
+              ) -> Dict[str, float]:
+    """One full pass of all four phases under ``mode``.
+
+    When ``profilers`` maps leg names to profiles, each timed section
+    runs with its leg's profiler enabled (setup stays unprofiled).
+    """
     obs.reset()
     config = HighLightConfig(datapath_mode=mode)
     bed = harness.make_highlight(partition_bytes=128 * MB, n_platters=4,
@@ -69,20 +102,33 @@ def _run_mode(mode: str, file_mb: int) -> Dict[str, float]:
     out: Dict[str, float] = {}
     wall_total = 0.0
 
+    def _prof(leg: str) -> Optional[cProfile.Profile]:
+        return profilers.get(leg) if profilers else None
+
     # Phase 1: log write — buffer cache through the segment writer's
     # vectored append.
+    prof = _prof("write")
+    if prof:
+        prof.enable()
     t0 = _now()
     fs.write_path("/bulk.bin", payload)
     fs.sync()
     dt = _now() - t0
+    if prof:
+        prof.disable()
     wall_total += dt
     out["seg_write_segments_per_sec"] = _rate(file_mb, dt)
 
     # Phase 2: cold read-back from the on-disk log.
     fs.drop_caches(app, drop_inodes=True)
+    prof = _prof("read")
+    if prof:
+        prof.enable()
     t0 = _now()
     got = fs.read_path("/bulk.bin")
     dt = _now() - t0
+    if prof:
+        prof.disable()
     wall_total += dt
     assert got == payload, "read-back mismatch"
     out["seg_read_segments_per_sec"] = _rate(file_mb, dt)
@@ -92,9 +138,14 @@ def _run_mode(mode: str, file_mb: int) -> Dict[str, float]:
     fs.write_path("/bulk.bin", payload)
     fs.sync()
     cleaner = Cleaner(fs, actor=app, max_per_pass=4 * file_mb)
+    prof = _prof("clean")
+    if prof:
+        prof.enable()
     t0 = _now()
     cleaned = cleaner.clean_pass()
     dt = _now() - t0
+    if prof:
+        prof.disable()
     wall_total += dt
     out["cleaner_segments_cleaned"] = float(cleaned)
     out["cleaner_segments_per_sec"] = _rate(cleaned, dt)
@@ -106,6 +157,9 @@ def _run_mode(mode: str, file_mb: int) -> Dict[str, float]:
     fs.checkpoint()
     app.sleep(3600.0)  # let the file go cold
     reset_copy_counter()
+    prof = _prof("migrate_fetch")
+    if prof:
+        prof.enable()
     t0 = _now()
     bed.migrator.migrate_file("/bulk.bin", app, unit_tag="bulk")
     bed.migrator.flush(app)
@@ -116,6 +170,8 @@ def _run_mode(mode: str, file_mb: int) -> Dict[str, float]:
     for tseg in tsegs:
         fs.service.demand_fetch(app, tseg)
     dt = _now() - t0
+    if prof:
+        prof.disable()
     wall_total += dt
     copied = bytes_copied_total()
     assert fs.stats.demand_fetches >= len(tsegs), "fetches were cached"
@@ -155,38 +211,246 @@ def _ledger_overhead(quick: bool) -> Dict[str, float]:
     }
 
 
-def run_perf(quick: bool = False) -> Dict[str, object]:
-    file_mb = FILE_MB_QUICK if quick else FILE_MB_FULL
-    ledger = _ledger_overhead(quick)
+def _hotpath_micro(quick: bool) -> Dict[str, float]:
+    """Micro-timings for the store's inner loop, per block.
+
+    * ``ref_path``: a chunked 1 MB segment adopted via ``write_refs``
+      and borrowed back via ``read_refs`` — the zero-copy datapath.
+    * ``copy_path``: the same transfer through the per-block dict
+      baseline (``BlockStore.write``/``read``) — one dict entry per
+      block plus the join on read.
+    * ``snapshot``/``restore`` on a maximally fragmented store — the
+      price the crash matrix pays at every crash point (O(runs) list
+      copy, not a deep copy).
+    """
+    from repro.blockdev.base import BlockStore
+    from repro.blockdev.datapath import ExtentRef
+    from repro.blockdev.extent import ExtentStore
+
+    bs = BLOCK_SIZE
+    bps = MB // bs                 # one 1 MB segment
+    iters = 64 if quick else 256
+    image = bytes(range(256)) * (bps * bs // 256)
+    chunk = 16 * bs                # segwriter-style chunked parts
+    refs = [ExtentRef(image, off, chunk)
+            for off in range(0, len(image), chunk)]
+
+    store = ExtentStore(capacity_blocks=4 * bps, block_size=bs)
+    t0 = _now()
+    for _ in range(iters):
+        store.write_refs(0, refs)
+        store.read_refs(0, bps)
+    ref_ns = (_now() - t0) / (iters * bps) * 1e9
+    runs_after_adopt = store.run_count()  # chunked refs must coalesce
+
+    base = BlockStore(capacity_blocks=4 * bps, block_size=bs)
+    t0 = _now()
+    for _ in range(iters):
+        base.write(0, image)
+        base.read(0, bps)
+    copy_ns = (_now() - t0) / (iters * bps) * 1e9
+
+    # Seed alternating single-block rows: worst-case fragmentation.
+    frag = ExtentStore(capacity_blocks=4096, block_size=bs)
+    blk = bytes(bs)
+    for i in range(0, 4096, 2):
+        frag.write(i, blk)
+    nruns = frag.run_count()
+    t0 = _now()
+    for _ in range(iters):
+        snap = frag.snapshot()
+    snapshot_ns = (_now() - t0) / (iters * nruns) * 1e9
+    t0 = _now()
+    for _ in range(iters):
+        frag.restore(snap)
+    restore_ns = (_now() - t0) / (iters * nruns) * 1e9
+
+    reset_copy_counter()
+    return {
+        "ref_path_ns_per_block": ref_ns,
+        "copy_path_ns_per_block": copy_ns,
+        "ref_vs_copy_speedup": copy_ns / ref_ns if ref_ns else float("inf"),
+        "runs_after_chunked_adopt": float(runs_after_adopt),
+        "snapshot_ns_per_run": snapshot_ns,
+        "restore_ns_per_run": restore_ns,
+        "snapshot_runs": float(nruns),
+        "blocks_per_transfer": float(bps),
+        "iters": float(iters),
+    }
+
+
+def _top_hot_sites(prof: cProfile.Profile, top_n: int) -> List[Dict]:
+    """Top-N call sites of a profile by cumulative time."""
+    stats = pstats.Stats(prof)
+    rows = []
+    for (filename, lineno, name), (_cc, nc, tt, ct, _callers) in \
+            stats.stats.items():  # type: ignore[attr-defined]
+        rows.append({
+            "site": f"{os.path.basename(filename)}:{lineno}:{name}",
+            "ncalls": nc,
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
+    rows.sort(key=lambda r: (-r["cumtime_s"], r["site"]))
+    return rows[:top_n]
+
+
+def _profile_modes(file_mb: int, top_n: int = 12) -> Dict[str, object]:
+    """One dedicated profiled pass per mode, a cProfile per leg."""
+    report: Dict[str, object] = {"top_n": top_n, "legs": {}}
     before = store_mode()
     try:
-        modes = {mode: _run_mode(mode, file_mb)
-                 for mode in (MODE_EXTENT, MODE_BLOCKDICT)}
+        for mode in (MODE_EXTENT, MODE_BLOCKDICT):
+            profilers = {leg: cProfile.Profile() for leg in LEGS}
+            _run_mode(mode, file_mb, profilers=profilers)
+            report["legs"][mode] = {
+                leg: _top_hot_sites(prof, top_n)
+                for leg, prof in profilers.items()}
+    finally:
+        set_store_mode(before)
+    return report
+
+
+def _render_profile(report: Dict[str, object]) -> str:
+    lines = ["segment I/O hot sites (cumulative time, per mode per leg)",
+             ""]
+    for mode, legs in report["legs"].items():  # type: ignore[union-attr]
+        for leg in LEGS:
+            lines.append(f"[{mode}] {leg}")
+            lines.append(f"  {'ncalls':>8s} {'tottime':>9s} "
+                         f"{'cumtime':>9s}  site")
+            for row in legs[leg]:
+                lines.append(
+                    f"  {row['ncalls']:>8d} {row['tottime_s']:>9.4f} "
+                    f"{row['cumtime_s']:>9.4f}  {row['site']}")
+            lines.append("")
+    return "\n".join(lines)
+
+
+#: Metrics that are identical across repeats by construction.
+_DETERMINISTIC = frozenset({
+    "cleaner_segments_cleaned",
+    "migrate_fetch_segments",
+    "datapath_bytes_copied_total",
+    "bytes_copied_per_segment",
+})
+_LOWER_IS_BETTER = frozenset({"wall_seconds_total"})
+
+
+def _aggregate(samples: List[Dict[str, float]],
+               agg: str) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for key in samples[0]:
+        vals = [s[key] for s in samples]
+        if key in _DETERMINISTIC:
+            assert all(v == vals[0] for v in vals), \
+                f"{key} varied across repeats: {vals}"
+            out[key] = vals[0]
+        elif agg == "median":
+            out[key] = statistics.median(vals)
+        elif key in _LOWER_IS_BETTER:
+            out[key] = min(vals)
+        else:
+            out[key] = max(vals)
+    return out
+
+
+def run_perf(quick: bool = False, repeats: int = REPEATS,
+             agg: str = "best",
+             profile: bool = False) -> Dict[str, object]:
+    file_mb = FILE_MB_QUICK if quick else FILE_MB_FULL
+    ledger = _ledger_overhead(quick)
+    hotpath = _hotpath_micro(quick)
+    before = store_mode()
+    try:
+        rounds: Dict[str, List[Dict[str, float]]] = {
+            MODE_EXTENT: [], MODE_BLOCKDICT: []}
+        for _ in range(repeats):
+            # Interleaved A/B: host jitter lands on both modes alike.
+            for mode in (MODE_EXTENT, MODE_BLOCKDICT):
+                rounds[mode].append(_run_mode(mode, file_mb))
+        modes = {mode: _aggregate(samples, agg)
+                 for mode, samples in rounds.items()}
     finally:
         set_store_mode(before)  # the A/B must not leak its mode switch
     extent_copied = modes[MODE_EXTENT]["datapath_bytes_copied_total"]
     baseline_copied = modes[MODE_BLOCKDICT]["datapath_bytes_copied_total"]
     factor = (baseline_copied / extent_copied if extent_copied
               else float("inf"))
-    return {
+    results: Dict[str, object] = {
         "benchmark": "segio",
         "quick": quick,
         "file_mb": file_mb,
         "block_size": BLOCK_SIZE,
+        "repeats": repeats,
+        "aggregation": agg,
         "modes": modes,
         "copied_reduction_factor": factor,
         "ledger": ledger,
+        "hotpath": hotpath,
     }
+    if profile:
+        results["profile"] = _profile_modes(file_mb)
+    return results
 
 
-def main(quick: bool = False, output_path: str = OUTPUT_PATH) -> int:
-    results = run_perf(quick=quick)
+def check_regression(committed_path: str = OUTPUT_PATH,
+                     tolerance: float = 0.15) -> int:
+    """CI gate: has either mode's wall clock regressed vs the committed
+    benchmark?
+
+    The committed ``BENCH_segio.json`` is full-mode and usually from a
+    different host, so absolute seconds do not transfer — the
+    extent/blockdict *wall ratio* does.  A fresh quick run (median of
+    ``REPEATS`` interleaved rounds, the variance guard) must keep that
+    ratio within ``tolerance`` in both directions: ratio drifting up
+    means the extent mode regressed relative to the baseline, drifting
+    down means the baseline did.  The deterministic copied-bytes floor
+    is re-asserted outright.
+    """
+    with open(committed_path) as fh:
+        committed = json.load(fh)
+    fresh = run_perf(quick=True, repeats=REPEATS, agg="median")
+    c_modes = committed["modes"]
+    f_modes = fresh["modes"]
+    committed_ratio = (c_modes[MODE_EXTENT]["wall_seconds_total"]
+                       / c_modes[MODE_BLOCKDICT]["wall_seconds_total"])
+    fresh_ratio = (f_modes[MODE_EXTENT]["wall_seconds_total"]
+                   / f_modes[MODE_BLOCKDICT]["wall_seconds_total"])
+    failures = []
+    if fresh_ratio > committed_ratio * (1 + tolerance):
+        failures.append(
+            f"extent wall regressed vs blockdict: ratio {fresh_ratio:.3f} "
+            f"> committed {committed_ratio:.3f} +{tolerance:.0%}")
+    if fresh_ratio < committed_ratio / (1 + tolerance):
+        failures.append(
+            f"blockdict wall regressed vs extent: ratio {fresh_ratio:.3f} "
+            f"< committed {committed_ratio:.3f} -{tolerance:.0%}")
+    if fresh["copied_reduction_factor"] < 5.0:
+        failures.append(
+            "copied-bytes reduction fell below the 5x design floor: "
+            f"{fresh['copied_reduction_factor']:.1f}x")
+    print(f"perf check: fresh wall ratio {fresh_ratio:.3f} "
+          f"(committed {committed_ratio:.3f}, tolerance {tolerance:.0%}), "
+          f"copy reduction {fresh['copied_reduction_factor']:.1f}x")
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    if not failures:
+        print("  ok")
+    return 1 if failures else 0
+
+
+def main(quick: bool = False, output_path: str = OUTPUT_PATH,
+         profile: bool = False,
+         profile_path: str = PROFILE_PATH) -> int:
+    results = run_perf(quick=quick, profile=profile)
     with open(output_path, "w") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
     factor = results["copied_reduction_factor"]
     print(f"segment I/O perf ({'quick' if quick else 'full'}, "
-          f"{results['file_mb']} MB file):")
+          f"{results['file_mb']} MB file, best of {results['repeats']} "
+          f"interleaved rounds):")
     for mode, stats in results["modes"].items():
         print(f"  [{mode}]")
         for key in sorted(stats):
@@ -196,5 +460,16 @@ def main(quick: bool = False, output_path: str = OUTPUT_PATH) -> int:
     print(f"  count_copy fast path: {ledger['count_copy_ns_per_call']:.0f} "
           f"ns/call vs {ledger['count_copy_ns_per_call_publish_per_call']:.0f}"
           f" ns/call publish-per-call ({ledger['speedup']:.1f}x)")
+    hp = results["hotpath"]
+    print(f"  hot path: ref {hp['ref_path_ns_per_block']:.0f} ns/blk vs "
+          f"copy {hp['copy_path_ns_per_block']:.0f} ns/blk "
+          f"({hp['ref_vs_copy_speedup']:.1f}x); snapshot "
+          f"{hp['snapshot_ns_per_run']:.0f} ns/run over "
+          f"{hp['snapshot_runs']:.0f} runs")
+    if profile:
+        with open(profile_path, "w") as fh:
+            fh.write(_render_profile(results["profile"]))
+            fh.write("\n")
+        print(f"  wrote {profile_path}")
     print(f"  wrote {output_path}")
     return 0

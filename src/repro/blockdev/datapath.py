@@ -38,6 +38,7 @@ __all__ = [
     "Buffer",
     "ExtentRef",
     "block_views",
+    "run_views",
     "MODE_BLOCKDICT",
     "MODE_EXTENT",
     "bytes_copied_total",
@@ -220,11 +221,14 @@ def split_refs(refs: Sequence[ExtentRef], nbytes: int
     return head, tail
 
 
-def block_views(refs: Sequence[ExtentRef], block_size: int) -> List[Buffer]:
-    """Per-block buffers over a ref list, zero-copy.
+def run_views(refs: Sequence[ExtentRef], block_size: int) -> List[Buffer]:
+    """Contiguous whole-block *runs* over a ref list, zero-copy.
 
-    A ref holding exactly one whole-``bytes`` block passes through
-    unchanged; larger refs yield memoryview slices.  Only a block that
+    This is the run-batched counterpart of :func:`block_views`: one
+    buffer per contiguous ref instead of one per block, so a 1 MB
+    segment that travels as a single ref stays a single memoryview —
+    O(runs) objects, not O(256 blocks).  A ref that is exactly one
+    whole-``bytes`` image passes through unchanged; only a block that
     straddles two refs is joined (and counted) — store refs are
     block-aligned, so in practice nothing is copied.
     """
@@ -244,22 +248,40 @@ def block_views(refs: Sequence[ExtentRef], block_size: int) -> List[Buffer]:
                 carry, carry_len = [], 0
         whole = (ref.nbytes - off) // block_size
         if whole:
-            if (whole == 1 and off == 0 and isinstance(ref.buf, bytes)
-                    and ref.start == 0 and ref.nbytes == block_size
-                    and len(ref.buf) == block_size):
-                out.append(ref.buf)  # the common adopted-block case
-                off = block_size
+            nbytes = whole * block_size
+            if (off == 0 and isinstance(ref.buf, bytes)
+                    and ref.start == 0 and ref.nbytes == nbytes
+                    and len(ref.buf) == nbytes):
+                out.append(ref.buf)  # an adopted whole image, as-is
             else:
-                view = ref.view()
-                for _ in range(whole):
-                    out.append(view[off:off + block_size])
-                    off += block_size
+                out.append(ref.view()[off:off + nbytes])
+            off += nbytes
         if off < ref.nbytes:
             carry.append(ref.view()[off:])
             carry_len += ref.nbytes - off
     if carry_len:
         raise ValueError(
             f"refs not block-aligned: {carry_len} trailing bytes")
+    return out
+
+
+def block_views(refs: Sequence[ExtentRef], block_size: int) -> List[Buffer]:
+    """Per-block buffers over a ref list, zero-copy.
+
+    A ref holding exactly one whole-``bytes`` block passes through
+    unchanged; larger refs yield memoryview slices.  Prefer
+    :func:`run_views` on hot paths — it hands back whole contiguous
+    runs instead of splitting them into per-block objects.
+    """
+    out: List[Buffer] = []
+    for run in run_views(refs, block_size):
+        nbytes = len(run)
+        if nbytes == block_size:
+            out.append(run)
+            continue
+        view = run if isinstance(run, memoryview) else memoryview(run)
+        out.extend(view[i:i + block_size]
+                   for i in range(0, nbytes, block_size))
     return out
 
 

@@ -3,24 +3,32 @@
 The per-block :class:`~repro.blockdev.base.BlockStore` moves every
 segment through a Python loop — one dict entry per 4 KB block plus a
 ``b"".join`` on each read.  The extent store keeps whole written runs as
-``(start, nblocks, buf, off)`` rows over shared buffers, so the common
-segment-sized transfers are O(1) bookkeeping:
+immutable ``(start, nblocks, buf, off)`` rows over shared buffers, so
+the common segment-sized transfers are O(runs) bookkeeping:
 
 * a ``write`` of an immutable ``bytes`` image *adopts* it by reference —
   sharing an immutable buffer is semantically identical to copying it;
 * ``write_refs`` adopts borrowed ranges (:class:`ExtentRef`) of any
   buffer under the data-path contract that the handing-over side stops
   mutating the range — this is how a staging buffer's payload reaches
-  disk, tape, and back without a single host copy;
-* ``read_refs`` hands back borrowed ranges instead of joined bytes, and
-  ``read`` returns the stored ``bytes`` object itself when one extent
-  exactly covers the request.
+  disk, tape, and back without a single host copy.  Contiguous refs
+  over one buffer are **coalesced at adopt time**, so a segment that
+  arrives as chunked refs settles into one row immediately;
+* ``writev`` splices a whole part list in as one batch: one carve, one
+  row splice — never a per-part insert loop;
+* ``read_refs`` hands back borrowed ranges instead of joined bytes
+  (a pure binary-search slice, no merging), and ``read`` returns the
+  stored ``bytes`` object itself when one extent exactly covers the
+  request.
 
-Extent buffers are **never mutated in place**: every write replaces the
-covered range, and trims/splits only adjust ``(start, off, nblocks)``.
+Extent rows are **immutable tuples** and extent buffers are **never
+mutated in place**: every write replaces the covered range, and
+trims/splits build new rows that only adjust ``(start, off, nblocks)``.
 That makes an adopted buffer a stable snapshot even when shared between
 several stores (disk line, tape volume, and cache can all reference the
-same staging buffer).
+same staging buffer) — and it makes :meth:`snapshot` a plain O(runs)
+list copy instead of a deep copy, which is what the crash matrix pays
+at every crash point.
 
 Sparse semantics match BlockStore exactly: unwritten blocks read back as
 zeros, ``is_written``/``written_blocks`` count real writes only, and a
@@ -35,7 +43,7 @@ All host-memory copies this store does perform are accounted through
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import List, Sequence
 
 from repro.blockdev.base import DataStore
@@ -44,7 +52,7 @@ from repro.blockdev.datapath import (Buffer, ExtentRef, count_copy,
 
 __all__ = ["ExtentStore"]
 
-# Extent rows are mutable 4-lists [start_blk, nblocks, buf, byte_off]:
+# Extent rows are immutable 4-tuples (start_blk, nblocks, buf, byte_off):
 # blocks [start, start + nblocks) hold buf[off : off + nblocks * bs].
 _START, _NBLK, _BUF, _OFF = range(4)
 
@@ -54,30 +62,38 @@ class ExtentStore(DataStore):
 
     def __init__(self, capacity_blocks: int, block_size: int) -> None:
         super().__init__(capacity_blocks, block_size)
-        self._starts: List[int] = []   # sorted extent start blocks
-        self._exts: List[list] = []    # parallel extent rows
-        self._written = 0              # total blocks covered by extents
+        self._starts: List[int] = []    # sorted extent start blocks
+        self._exts: List[tuple] = []    # parallel extent rows
+        self._written = 0               # total blocks covered by extents
 
     # -- internal geometry --------------------------------------------------
 
+    def run_count(self) -> int:
+        """Number of extent rows currently held (fragmentation probe)."""
+        return len(self._exts)
+
     def _span(self, blkno: int, end: int) -> tuple:
-        """Index range [lo, hi) of extents overlapping [blkno, end)."""
-        lo = bisect_right(self._starts, blkno)
+        """Index range [lo, hi) of extents overlapping [blkno, end).
+
+        Both edges are binary searches: ``lo`` is the last extent
+        starting at or before ``blkno`` (kept only if it reaches past
+        it), ``hi`` the first extent starting at or past ``end``.
+        """
+        starts = self._starts
+        lo = bisect_right(starts, blkno)
         if lo > 0:
             row = self._exts[lo - 1]
             if row[_START] + row[_NBLK] > blkno:
                 lo -= 1
-        hi = lo
-        while hi < len(self._exts) and self._starts[hi] < end:
-            hi += 1
+        hi = bisect_left(starts, end, lo)
         return lo, hi
 
     def _carve(self, blkno: int, end: int, release: bool = True) -> int:
         """Remove coverage of [blkno, end); returns the insertion index
         where a replacement extent starting at ``blkno`` belongs.
 
-        Remainders of partially-overlapped extents are kept by trimming
-        ``(start, off, nblocks)`` — no buffer bytes move.
+        Remainders of partially-overlapped extents are kept as trimmed
+        rows — no buffer bytes move.
 
         ``release=False`` marks a carve that replaces the range with the
         *identical bytes* (coalesce-on-read): outstanding borrows stay
@@ -98,42 +114,49 @@ class ExtentStore(DataStore):
             e = s + n
             removed += min(e, end) - max(s, blkno)
             if s < blkno:
-                repl.append([s, blkno - s, buf, off])
+                repl.append((s, blkno - s, buf, off))
             if e > end:
-                repl.append([end, e - end, buf, off + (end - s) * bs])
+                repl.append((end, e - end, buf, off + (end - s) * bs))
         self._exts[lo:hi] = repl
         self._starts[lo:hi] = [r[_START] for r in repl]
         self._written -= removed
         return lo + (1 if repl and repl[0][_START] < blkno else 0)
 
-    def _insert(self, idx: int, start: int, nblocks: int, buf: Buffer,
-                off: int) -> None:
-        """Insert an extent at ``idx``, free-merging with neighbours that
-        continue the same buffer contiguously."""
+    def _splice(self, idx: int, rows: List[tuple]) -> None:
+        """Insert a batch of contiguous, pre-merged rows at ``idx`` with
+        one slice assignment, free-merging with the two edge neighbours
+        that continue the same buffer contiguously.
+
+        The caller has already carved [rows[0].start, rows[-1].end), so
+        only the outer boundaries can merge.  ``_written`` is updated by
+        the caller (edge merges never change coverage).
+        """
         bs = self.block_size
-        self._exts.insert(idx, [start, nblocks, buf, off])
-        self._starts.insert(idx, start)
-        self._written += nblocks
-        nxt = idx + 1
-        if nxt < len(self._exts):
-            a, b = self._exts[idx], self._exts[nxt]
-            if (a[_START] + a[_NBLK] == b[_START] and a[_BUF] is b[_BUF]
-                    and a[_OFF] + a[_NBLK] * bs == b[_OFF]):
-                a[_NBLK] += b[_NBLK]
-                del self._exts[nxt]
-                del self._starts[nxt]
+        exts = self._exts
+        lo = hi = idx
         if idx > 0:
-            p, a = self._exts[idx - 1], self._exts[idx]
-            if (p[_START] + p[_NBLK] == a[_START] and p[_BUF] is a[_BUF]
-                    and p[_OFF] + p[_NBLK] * bs == a[_OFF]):
-                p[_NBLK] += a[_NBLK]
-                del self._exts[idx]
-                del self._starts[idx]
+            p = exts[idx - 1]
+            r = rows[0]
+            if (p[_START] + p[_NBLK] == r[_START] and p[_BUF] is r[_BUF]
+                    and p[_OFF] + p[_NBLK] * bs == r[_OFF]):
+                rows[0] = (p[_START], p[_NBLK] + r[_NBLK], p[_BUF], p[_OFF])
+                lo = idx - 1
+        if idx < len(exts):
+            nxt = exts[idx]
+            r = rows[-1]
+            if (r[_START] + r[_NBLK] == nxt[_START] and r[_BUF] is nxt[_BUF]
+                    and r[_OFF] + r[_NBLK] * bs == nxt[_OFF]):
+                rows[-1] = (r[_START], r[_NBLK] + nxt[_NBLK], r[_BUF],
+                            r[_OFF])
+                hi = idx + 1
+        exts[lo:hi] = rows
+        self._starts[lo:hi] = [r[_START] for r in rows]
 
     def _place(self, blkno: int, nblocks: int, buf: Buffer,
                off: int, release: bool = True) -> None:
         idx = self._carve(blkno, blkno + nblocks, release=release)
-        self._insert(idx, blkno, nblocks, buf, off)
+        self._splice(idx, [(blkno, nblocks, buf, off)])
+        self._written += nblocks
 
     # -- scalar API (BlockStore-compatible) ---------------------------------
 
@@ -148,20 +171,51 @@ class ExtentStore(DataStore):
             s, n, buf, off = self._exts[lo]
             if s <= blkno and s + n >= end:
                 skip = off + (blkno - s) * bs
-                if (isinstance(buf, bytes) and skip == 0
+                if (skip == 0 and isinstance(buf, bytes)
                         and len(buf) == nbytes):
                     return buf  # exact image: zero-copy
                 count_copy(nbytes)
                 return bytes(memoryview(buf)[skip:skip + nbytes])
-        refs = self.read_refs(blkno, nblocks)
+        # General path: join rows and zero-fill holes in one pass,
+        # tracking coverage so the hole check needs no second scan.
+        parts: List[Buffer] = []
+        cursor = blkno
+        covered = 0
+        for j in range(lo, hi):
+            s, n, buf, off = self._exts[j]
+            if s > cursor:
+                gap = (s - cursor) * bs
+                parts.append(memoryview(zeros(gap))[:gap])
+                cursor = s
+            take = min(s + n, end) - cursor
+            skip = off + (cursor - s) * bs
+            if (skip == 0 and take == n and isinstance(buf, bytes)
+                    and len(buf) == take * bs):
+                parts.append(buf)
+            else:
+                parts.append(memoryview(buf)[skip:skip + take * bs])
+            covered += take
+            cursor += take
+        if cursor < end:
+            gap = (end - cursor) * bs
+            parts.append(memoryview(zeros(gap))[:gap])
         count_copy(nbytes)
-        data = b"".join(r.view() for r in refs)
+        data = b"".join(parts)
         # Coalesce-on-read: only a hole-free range may be stored back as
         # one extent — re-writing a hole would corrupt is_written().
         # The replacement holds the identical bytes, so outstanding
-        # borrows stay valid: release=False keeps the sanitizer quiet.
-        if self.written_in_range(blkno, nblocks) == nblocks:
-            self._place(blkno, nblocks, data, 0, release=False)
+        # borrows stay valid: no sanitizer release.  When no overlapped
+        # row hangs past the request (the usual whole-run read) this is
+        # one direct slice assignment, no carve.
+        if covered == nblocks:
+            first = self._exts[lo]
+            last = self._exts[hi - 1]
+            if (first[_START] >= blkno
+                    and last[_START] + last[_NBLK] <= end):
+                self._exts[lo:hi] = [(blkno, nblocks, data, 0)]
+                self._starts[lo:hi] = [blkno]
+            else:
+                self._place(blkno, nblocks, data, 0, release=False)
         return data
 
     def write(self, blkno: int, data: Buffer) -> None:
@@ -220,8 +274,8 @@ class ExtentStore(DataStore):
         for j in range(lo, hi):
             s, n, buf, off = self._exts[j]
             if s > cursor:
-                refs.append(ExtentRef(zeros((s - cursor) * bs), 0,
-                                      (s - cursor) * bs))
+                gap = (s - cursor) * bs
+                refs.append(ExtentRef(zeros(gap), 0, gap))
                 cursor = s
             take = min(s + n, end) - cursor
             refs.append(ExtentRef(buf, off + (cursor - s) * bs, take * bs))
@@ -238,29 +292,50 @@ class ExtentStore(DataStore):
         """Adopt borrowed ranges as extents (zero-copy when block-aligned).
 
         The handing-over side must not mutate the referenced ranges after
-        this call; the store keeps them by reference.
+        this call; the store keeps them by reference.  Contiguous refs
+        over one buffer merge into a single row *here*, at adopt time, so
+        the read side never pays a merge.
         """
         bs = self.block_size
-        total = sum(r.nbytes for r in refs)
+        total = 0
+        aligned = True
+        for r in refs:
+            total += r.nbytes
+            if r.nbytes % bs:
+                aligned = False
         self._check_aligned(total)
-        self.check_range(blkno, total // bs)
+        nblocks = total // bs
+        self.check_range(blkno, nblocks)
         san = sanitizer()
-        if any(r.nbytes % bs for r in refs):
+        if not aligned:
             # Unaligned pieces: fall back to one materialized image
             # (reading the refs' bytes, so adoption is notified after).
             self.write(blkno, materialize_refs(refs))
             if san is not None:
                 san.on_adopt(self, refs)
             return
-        idx = self._carve(blkno, blkno + total // bs)
+        idx = self._carve(blkno, blkno + nblocks)
+        rows: List[tuple] = []
         cursor = blkno
         for r in refs:
             if not r.nbytes:
                 continue
             n = r.nbytes // bs
-            self._insert(idx, cursor, n, r.buf, r.start)
-            idx = self._span(cursor, cursor + n)[1]
+            if rows:
+                prev = rows[-1]
+                if (prev[_BUF] is r.buf
+                        and prev[_OFF] + prev[_NBLK] * bs == r.start):
+                    # Adopt-time coalescing: the ref continues the same
+                    # buffer contiguously.
+                    rows[-1] = (prev[_START], prev[_NBLK] + n, prev[_BUF],
+                                prev[_OFF])
+                    cursor += n
+                    continue
+            rows.append((cursor, n, r.buf, r.start))
             cursor += n
+        if rows:
+            self._splice(idx, rows)
+            self._written += nblocks
         if san is not None:
             san.on_adopt(self, refs)
 
@@ -268,13 +343,44 @@ class ExtentStore(DataStore):
         """Zero-copy views covering the request (zeros for holes)."""
         return [r.view() for r in self.read_refs(blkno, nblocks)]
 
+    def writev(self, blkno: int, parts: Sequence[Buffer]) -> None:
+        """Write a sequence of buffers at consecutive block positions.
+
+        The whole part list lands as one batch: one carve over the
+        covered range, one row splice — the segment writer's 256-part
+        vectored append is O(parts), not O(parts x rows).
+        """
+        bs = self.block_size
+        rows: List[tuple] = []
+        cursor = blkno
+        for part in parts:
+            nbytes = len(part)
+            if not nbytes:
+                continue
+            self._check_aligned(nbytes)
+            if isinstance(part, bytes):
+                buf: Buffer = part
+            else:
+                count_copy(nbytes)
+                buf = bytes(part)
+            rows.append((cursor, nbytes // bs, buf, 0))
+            cursor += nbytes // bs
+        if not rows:
+            return
+        nblocks = cursor - blkno
+        self.check_range(blkno, nblocks)
+        idx = self._carve(blkno, blkno + nblocks)
+        self._splice(idx, rows)
+        self._written += nblocks
+
     # -- media imaging ------------------------------------------------------
 
     def snapshot(self) -> object:
-        # Extent buffers are never mutated in place (writes replace rows),
-        # so sharing them with the image is safe; only the row lists are
-        # copied.  Rows are frozen as tuples to keep the image immutable.
-        return [(s, n, buf, off) for s, n, buf, off in self._exts]
+        # Rows are immutable tuples and extent buffers are never mutated
+        # in place, so a shallow list copy *is* a deep image: later
+        # writes splice in new rows, never touch old ones.  O(runs)
+        # pointer copies — the crash matrix snapshots per crash point.
+        return list(self._exts)
 
     def restore(self, image: object) -> None:
         if not isinstance(image, list):
@@ -286,15 +392,6 @@ class ExtentStore(DataStore):
             # this store is now stale.
             san.on_release(self, 0, self.capacity_blocks,
                            reason="replaced by a media-image restore")
-        self._exts = [[s, n, buf, off] for s, n, buf, off in image]
+        self._exts = [(s, n, buf, off) for s, n, buf, off in image]
         self._starts = [row[_START] for row in self._exts]
         self._written = sum(row[_NBLK] for row in self._exts)
-
-    def writev(self, blkno: int, parts: Sequence[Buffer]) -> None:
-        """Write a sequence of buffers at consecutive block positions."""
-        cursor = blkno
-        for part in parts:
-            if not len(part):
-                continue
-            self.write(cursor, part)
-            cursor += len(part) // self.block_size

@@ -150,6 +150,40 @@ class Migrator:
         daddr = self.builder.add_block(inum, lbn, data, lastlength)
         return daddr
 
+    def _stage_span(self, actor: Actor, ino: Inode,
+                    span: List[Tuple[int, int]], blocks: List) -> None:
+        """Stage a physically contiguous span of live blocks of one file.
+
+        ``blocks`` holds one buffer per block.  Blocks land in batched
+        gather copies (``add_block_views``), splitting exactly where
+        per-block staging would have sealed the segment: the batch size
+        is the largest prefix the open builder still has room for, which
+        is precisely how many per-block adds would have succeeded.
+        """
+        fs = self.fs
+        inum = ino.inum
+        pos = 0
+        total = len(span)
+        while pos < total:
+            if self.builder is None:
+                self.builder = self._open_builder(actor)
+            take = total - pos
+            while take and not self.builder.room_for_blocks(inum, take):
+                take -= 1
+            if not take:
+                self._finalize_builder(actor)
+                self.builder = self._open_builder(actor)
+                continue
+            lbns = [lbn for lbn, _ in span[pos:pos + take]]
+            first = self.builder.add_block_views(
+                inum, lbns, blocks[pos:pos + take],
+                self._lastlength(ino, lbns[-1]))
+            for i, (lbn, old_daddr) in enumerate(span[pos:pos + take]):
+                fs.set_bmap(ino, lbn, first + i, actor)
+                fs.account_block_moved(old_daddr, first + i)
+            self.stats.add_blocks(take)
+            pos += take
+
     def _stage_inode(self, actor: Actor, ino: Inode) -> int:
         if self.builder is None:
             self.builder = self._open_builder(actor)
@@ -238,20 +272,23 @@ class Migrator:
             # Borrowed ranges: staging copies each live block exactly
             # once (at the builder append); the gather itself is free.
             refs = fs.dev_read_refs(actor, run[0][1], len(run))
-            blocks = block_views(refs, BLOCK_SIZE)
             yield
             live = fs.lfs_bmapv([(inum, lbn, daddr) for lbn, daddr in run],
                                 actor)
-            for k, ((lbn, old_daddr), alive) in enumerate(zip(run, live)):
-                if not alive:
+            # Stage each contiguous live span as one batch: one room
+            # check and one summary update per span instead of per block
+            # (the per-block buffers themselves are cheap borrowed views).
+            blocks = block_views(refs, BLOCK_SIZE)
+            k = 0
+            while k < len(run):
+                if not live[k]:
+                    k += 1
                     continue
-                data = blocks[k]
-                lastlength = self._lastlength(ino, lbn)
-                new_daddr = self._stage_block(actor, inum, lbn, data,
-                                              lastlength)
-                fs.set_bmap(ino, lbn, new_daddr, actor)
-                fs.account_block_moved(old_daddr, new_daddr)
-                self.stats.add_blocks()
+                j = k + 1
+                while j < len(run) and live[j]:
+                    j += 1
+                self._stage_span(actor, ino, run[k:j], blocks[k:j])
+                k = j
             if self.builder is not None and self.builder.spill(actor):
                 yield
 

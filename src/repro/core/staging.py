@@ -83,12 +83,16 @@ class StagingBuilder:
         return self._nblocks >= self.payload_capacity()
 
     def room_for_block(self, inum: int) -> bool:
-        if self.is_full():
+        return self.room_for_blocks(inum, 1)
+
+    def room_for_blocks(self, inum: int, nblocks: int) -> bool:
+        """Would ``nblocks`` more blocks of file ``inum`` fit?"""
+        if self._nblocks + nblocks > self.payload_capacity():
             return False
         new_file = (not self.summary.finfos
                     or self.summary.finfos[-1].ino != inum)
         return self.summary.fits(self.fs.config.summary_size,
-                                 extra_file=new_file, extra_blocks=1)
+                                 extra_file=new_file, extra_blocks=nblocks)
 
     def room_for_inode_block(self) -> bool:
         if self.is_full():
@@ -113,6 +117,76 @@ class StagingBuilder:
             fi.lastlength = lastlength
         else:
             self.summary.finfos.append(FileInfo(inum, lastlength, [lbn]))
+        return daddr
+
+    def add_block_run(self, inum: int, lbns: List[int], data: Buffer,
+                      lastlength: int = BLOCK_SIZE) -> int:
+        """Append a contiguous run of one file's blocks in a single gather
+        copy; returns the tertiary address of the first block.
+
+        Equivalent to ``add_block`` per block (same summary content, same
+        addresses — ``lastlength`` describes the run's *final* block, as
+        repeated per-block appends would leave it), but the payload lands
+        with one slice assignment instead of ``len(lbns)`` per-block
+        copies: the run stays O(runs) through the whole staging path.
+        """
+        if self.finalized:
+            raise InvalidArgument("staging segment already finalized")
+        k = len(lbns)
+        if len(data) != k * BLOCK_SIZE:
+            raise InvalidArgument(
+                f"run payload must be {k} x {BLOCK_SIZE} bytes, "
+                f"got {len(data)}")
+        if not self.room_for_blocks(inum, k):
+            raise InvalidArgument("staging segment is full")
+        daddr = self.tseg_base + 1 + self._nblocks
+        off = self._nblocks * BLOCK_SIZE
+        self._buf[off:off + k * BLOCK_SIZE] = data
+        count_copy(k * BLOCK_SIZE)
+        self._nblocks += k
+        if self.summary.finfos and self.summary.finfos[-1].ino == inum:
+            fi = self.summary.finfos[-1]
+            fi.blocks.extend(lbns)
+            fi.lastlength = lastlength
+        else:
+            self.summary.finfos.append(
+                FileInfo(inum, lastlength, list(lbns)))
+        return daddr
+
+    def add_block_views(self, inum: int, lbns: List[int],
+                        views: List[Buffer],
+                        lastlength: int = BLOCK_SIZE) -> int:
+        """As :meth:`add_block_run`, but gathering from per-block buffers
+        (the shape ``block_views`` hands back when the source range is
+        fragmented).  Still one summary update and one room check for
+        the whole batch; only the k slice copies are per-block.
+        """
+        if self.finalized:
+            raise InvalidArgument("staging segment already finalized")
+        k = len(lbns)
+        if len(views) != k:
+            raise InvalidArgument(
+                f"{k} lbns but {len(views)} block buffers")
+        if not self.room_for_blocks(inum, k):
+            raise InvalidArgument("staging segment is full")
+        daddr = self.tseg_base + 1 + self._nblocks
+        off = self._nblocks * BLOCK_SIZE
+        for v in views:
+            if len(v) != BLOCK_SIZE:
+                raise InvalidArgument(
+                    f"staged block must be exactly {BLOCK_SIZE} bytes, "
+                    f"got {len(v)}")
+            self._buf[off:off + BLOCK_SIZE] = v
+            off += BLOCK_SIZE
+        count_copy(k * BLOCK_SIZE)
+        self._nblocks += k
+        if self.summary.finfos and self.summary.finfos[-1].ino == inum:
+            fi = self.summary.finfos[-1]
+            fi.blocks.extend(lbns)
+            fi.lastlength = lastlength
+        else:
+            self.summary.finfos.append(
+                FileInfo(inum, lastlength, list(lbns)))
         return daddr
 
     def add_inode_block(self, inodes: List[Inode]) -> int:

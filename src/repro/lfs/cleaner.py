@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 from typing import List, Optional, Tuple
 
 from repro import obs
+from repro.blockdev.datapath import block_views
 from repro.lfs.constants import BLOCK_SIZE, UNASSIGNED
 from repro.lfs.ifile import SEG_CACHED, SEG_CLEAN, SEG_GONE
 from repro.lfs.inode import unpack_inode_block
@@ -71,11 +72,18 @@ def walk_segment(fs, actor: Actor, segno: int):
     """
     base = fs.seg_base(segno)
     bps = fs.config.blocks_per_seg
-    image = fs.dev_read(actor, base, bps)
+    # Borrowed per-block buffers instead of a joined image: the extent
+    # store hands back each whole-block extent untouched, so walking a
+    # dead segment copies nothing (block data is only materialised for
+    # the live blocks the caller actually forwards).
+    refs = fs.dev_read_refs(actor, base, bps)
+    image = block_views(refs, BLOCK_SIZE)
     offset = 0
     while offset < bps:
-        raw = image[offset * BLOCK_SIZE:(offset + 1) * BLOCK_SIZE]
-        summary = SegmentSummary.try_unpack(raw, fs.config.summary_size)
+        raw = image[offset]
+        summary = SegmentSummary.try_unpack(
+            raw if isinstance(raw, bytes) else bytes(raw),
+            fs.config.summary_size)
         if summary is None:
             break
         ndata = summary.ndata_blocks()
@@ -87,14 +95,14 @@ def walk_segment(fs, actor: Actor, segno: int):
         for fi in summary.finfos:
             for lbn in fi.blocks:
                 daddr = base + offset + 1 + index
-                start = (offset + 1 + index) * BLOCK_SIZE
                 entries.append((fi.ino, lbn,
-                                daddr, image[start:start + BLOCK_SIZE]))
+                                daddr, image[offset + 1 + index]))
                 index += 1
         inode_blocks = []
         for j in range(ninode):
-            start = (offset + 1 + ndata + j) * BLOCK_SIZE
-            inode_blocks.append(image[start:start + BLOCK_SIZE])
+            blk = image[offset + 1 + ndata + j]
+            inode_blocks.append(blk if isinstance(blk, bytes)
+                                else bytes(blk))
         yield summary, entries, summary.inode_daddrs, inode_blocks
         # Partials are laid out back to back within a segment.
         offset += 1 + ndata + ninode
@@ -163,7 +171,11 @@ class Cleaner:
                                  self.actor)
             for (inum, lbn, _daddr, data), alive in zip(entries, flags):
                 if alive:
-                    live_blocks.append((inum, lbn, data))
+                    # Materialise only what gets forwarded; dead blocks
+                    # stay borrowed views and cost nothing.
+                    live_blocks.append(
+                        (inum, lbn,
+                         data if isinstance(data, bytes) else bytes(data)))
             for daddr, blk in zip(ino_daddrs, ino_blocks):
                 for ino in unpack_inode_block(blk):
                     entry = fs.ifile.imap_lookup(ino.inum)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.blockdev.base import BlockDevice, CPUModel
+from repro.blockdev.datapath import block_views
 from repro.errors import (FileExists, FileNotFound, InvalidArgument,
                           IsADirectory, DirectoryNotEmpty, NoSpace,
                           NotADirectory)
@@ -465,12 +466,16 @@ class LFS:
                    and self.bcache.peek((ino.inum, lbn + run)) is None
                    and self.bmap_cached(ino, lbn + run) == daddr + run):
                 run += 1
-        data = self.dev_read(actor, daddr, run)
+        # Borrowed ranges instead of a joined image: a store that keeps
+        # whole-block extents hands each block through untouched (no join
+        # copy, no re-slicing) — the per-block dict baseline still pays
+        # its join inside read_refs.
+        refs = self.dev_read_refs(actor, daddr, run)
+        blocks = [b if isinstance(b, bytes) else bytes(b)
+                  for b in block_views(refs, BLOCK_SIZE)]
         for i in range(run):
-            self.bcache.put((ino.inum, lbn + i),
-                            data[i * BLOCK_SIZE:(i + 1) * BLOCK_SIZE],
-                            dirty=False)
-        return data[:BLOCK_SIZE]
+            self.bcache.put((ino.inum, lbn + i), blocks[i], dirty=False)
+        return blocks[0]
 
     def write(self, inum: int, offset: int, data: bytes,
               actor: Optional[Actor] = None) -> int:

@@ -139,6 +139,7 @@ class MetricFamily:
         self.buckets = tuple(buckets) if buckets else DEFAULT_BUCKETS
         self.max_series = max_series
         self._children: Dict[Tuple[str, ...], object] = {}
+        self._default_child: Optional[object] = None
 
     def labels(self, **labelvalues: object) -> Any:
         """The child series for one label-value assignment."""
@@ -161,13 +162,19 @@ class MetricFamily:
         return child
 
     # Label-less convenience: family.inc() / .set() / .observe() act on
-    # the single unlabelled series.
+    # the single unlabelled series.  The child is memoised on the family:
+    # label-less counters sit on per-block hot paths (cache hits, device
+    # ops), where re-deriving the () series key per increment is real
+    # overhead.
     def _default(self):
-        if self.labelnames:
-            raise MetricError(
-                f"metric {self.name!r} has labels {self.labelnames}; "
-                "use .labels(...)")
-        return self.labels()
+        child = self._default_child
+        if child is None:
+            if self.labelnames:
+                raise MetricError(
+                    f"metric {self.name!r} has labels {self.labelnames}; "
+                    "use .labels(...)")
+            child = self._default_child = self.labels()
+        return child
 
     def inc(self, amount: float = 1.0) -> None:
         self._default().inc(amount)
@@ -192,6 +199,7 @@ class MetricFamily:
 
     def clear(self) -> None:
         self._children.clear()
+        self._default_child = None
 
 
 class MetricsRegistry:

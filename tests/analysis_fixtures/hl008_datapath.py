@@ -33,3 +33,26 @@ def good_vectored_and_unrelated(actor, disk, store, table, nblocks, blkno):
         # the loop variable never indexes the transfer (per-replica shape)
     blocks = table._blocks                                # ok: not a store
     return refs, blocks
+
+
+def bad_ref_per_iteration(actor, disk, spans, image):
+    refs = []
+    for start, nbytes in spans:
+        refs.append(ExtentRef(image, start, nbytes))      # finding
+        disk.writev(actor, start, [image])
+    return refs
+
+
+def good_ref_batches(actor, disk, store, refs, image, spans, blkno):
+    observed = [ExtentRef(r.view(), 0, r.nbytes) for r in refs]  # ok: comp
+    for seg in spans:
+        parts = [ExtentRef(image, s, 64) for s in seg]    # ok: batched comp
+        disk.write_refs(actor, blkno, parts)              # ok: one call
+    pos = 0
+    while pos < len(spans):  # ok: one accumulated region per pass (spill)
+        store.write_refs(blkno, [ExtentRef(image, pos, 64)])
+        pos += 1
+    out = []
+    for start, nbytes in spans:
+        out.append(ExtentRef(image, start, nbytes))       # ok: no block I/O
+    return observed, out

@@ -109,10 +109,11 @@ class TestRuleFixtures:
 
     def test_hl008_datapath_copy(self):
         result = analyze("hl008_datapath.py", [HL008DatapathCopy()])
-        assert lines_of(result, "HL008") == [7, 9, 11, 12, 17, 18, 19]
-        # Vectored single calls, non-store receivers, and non-range
-        # loops all stay clean.
-        assert all(f.line <= 19 for f in result.findings)
+        assert lines_of(result, "HL008") == [7, 9, 11, 12, 17, 18, 19, 41]
+        # Vectored single calls, non-store receivers, non-range loops,
+        # comprehension-built ref batches, and while-loop spills (one
+        # accumulated region per pass) all stay clean.
+        assert all(f.line <= 19 or f.line == 41 for f in result.findings)
 
     def test_hl008_exempt_inside_blockdev(self):
         # The stores themselves legitimately hold the representation.

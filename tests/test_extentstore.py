@@ -200,6 +200,117 @@ class TestBlockViews:
             block_views([ref_of(blk(25) + b"x")], BS)
 
 
+class TestRunCounts:
+    """Bounds on the run representation: batched adoption must land in
+    O(runs) rows, never one row per block."""
+
+    def test_contiguous_same_buffer_refs_adopt_as_one_run(self):
+        st = fresh()
+        seg = blk(30, 16)
+        refs = [ExtentRef(seg, i * BS, BS) for i in range(16)]
+        st.write_refs(0, refs)
+        assert st.run_count() == 1  # adopt-time coalescing
+
+    def test_chunked_same_buffer_refs_adopt_as_one_run(self):
+        st = fresh()
+        seg = blk(31, 16)
+        st.write_refs(0, [ExtentRef(seg, off, 4 * BS)
+                          for off in range(0, 16 * BS, 4 * BS)])
+        assert st.run_count() == 1
+
+    def test_distinct_buffers_bounded_by_ref_count(self):
+        st = fresh()
+        parts = [blk(32 + i) for i in range(8)]
+        st.write_refs(0, [ExtentRef(p, 0, BS) for p in parts])
+        assert st.run_count() == 8  # distinct buffers cannot merge
+        # ... until a covering read re-coalesces them into one row.
+        st.read(0, 8)
+        assert st.run_count() == 1
+
+    def test_writev_splices_parts_without_row_blowup(self):
+        st = fresh()
+        parts = [blk(40 + i) for i in range(12)]
+        st.writev(4, parts)
+        assert st.run_count() <= len(parts)
+
+    def test_adjacent_adopt_merges_with_neighbor_rows(self):
+        # Two write_refs calls over adjacent ranges of one buffer must
+        # splice-merge into the existing row, not stack a second one.
+        st = fresh()
+        seg = blk(50, 8)
+        st.write_refs(0, [ExtentRef(seg, 0, 4 * BS)])
+        st.write_refs(4, [ExtentRef(seg, 4 * BS, 4 * BS)])
+        assert st.run_count() == 1
+
+    def test_random_contiguous_writes_keep_runs_bounded(self):
+        # Each write lands as one row but may split an overlapped run
+        # into two remainders: rows grow by at most 2 per write, and a
+        # row always covers at least one block.
+        rng = random.Random(0xC0FFEE)
+        st = fresh()
+        writes = 0
+        for _ in range(200):
+            blkno = rng.randrange(CAP - 8)
+            nblocks = rng.randrange(1, 9)
+            st.write(blkno, blk(rng.getrandbits(30), nblocks))
+            writes += 1
+            assert st.run_count() <= min(2 * writes, st.written_blocks())
+
+
+class TestGuardedRunBorrows:
+    """Sanitizer-armed: poisoning follows the run representation."""
+
+    @pytest.fixture
+    def armed(self):
+        from repro.analysis import sanitize
+        san = sanitize.install()
+        yield san
+        sanitize.uninstall()
+
+    def test_overwriting_one_run_poisons_only_its_borrows(self, armed):
+        from repro.analysis.sanitize import BorrowViolation, GuardedRef
+        st = fresh()
+        st.write(0, blk(60, 2))
+        st.write(4, blk(61, 2))  # separate run (hole at 2..3)
+        left = st.read_refs(0, 2)
+        right = st.read_refs(4, 2)
+        assert all(isinstance(r, GuardedRef) for r in left + right)
+        st.write(0, blk(62, 2))  # recycle only the left run
+        with pytest.raises(BorrowViolation):
+            left[0].view()
+        # The untouched run's borrow stays live at run granularity.
+        assert bytes(right[0].view()) == blk(61, 2)
+
+    def test_coalesced_run_borrow_poisons_whole_range(self, armed):
+        from repro.analysis.sanitize import BorrowViolation
+        st = fresh()
+        parts = [blk(63 + i) for i in range(4)]
+        st.write_refs(0, [ExtentRef(p, 0, BS) for p in parts])
+        st.read(0, 4)  # re-coalesce the four rows into one
+        assert st.run_count() == 1
+        (ref,) = st.read_refs(0, 4)  # one borrow over the merged run
+        st.write(1, blk(70))         # overwrite inside the run
+        with pytest.raises(BorrowViolation):
+            ref.view()
+        assert armed.poisons >= 1
+
+    def test_adopted_refs_are_poisoned_for_the_giver(self, armed):
+        from repro.analysis.sanitize import BorrowViolation
+        src, dst = fresh(), fresh()
+        seg = blk(71, 4)
+        src.write(0, seg)
+        lent = src.read_refs(0, 4)   # guarded borrows of one run
+        dst.write_refs(8, lent)
+        # Handing refs over transfers ownership: the giver's handles
+        # are dead even though adopt-time coalescing rebuilt the rows,
+        # and the adoptee holds the payload as a single fresh run.
+        for r in lent:
+            with pytest.raises(BorrowViolation):
+                r.view()
+        assert dst.run_count() == 1
+        assert dst.read(8, 4) == seg
+
+
 class DictModel:
     """Reference model: one bytes object per written block."""
 

@@ -136,16 +136,15 @@ class TestReadAheadRamp:
         lfs.drop_caches()
         inum = lfs.lookup("/seq")
         reads_sizes = []
-        orig = lfs.dev_read
+        orig = lfs.dev_read_refs  # data blocks travel the refs path
 
         def spy(actor, daddr, nblocks):
             reads_sizes.append(nblocks)
             return orig(actor, daddr, nblocks)
 
-        lfs.dev_read = spy
+        lfs.dev_read_refs = spy
         for lbn in range(32):
             lfs.read(inum, lbn * BLOCK_SIZE, BLOCK_SIZE)
-        data_reads = [n for n in reads_sizes if n > 1 or True]
         # Ramp: early reads small, later reads hit the 16-block cluster.
         assert max(reads_sizes) == lfs.config.cluster_blocks
         assert reads_sizes[0] < max(reads_sizes)
@@ -156,13 +155,13 @@ class TestReadAheadRamp:
         lfs.drop_caches()
         inum = lfs.lookup("/rand")
         sizes = []
-        orig = lfs.dev_read
+        orig = lfs.dev_read_refs
 
         def spy(actor, daddr, nblocks):
             sizes.append(nblocks)
             return orig(actor, daddr, nblocks)
 
-        lfs.dev_read = spy
+        lfs.dev_read_refs = spy
         lfs.read(inum, 40 * BLOCK_SIZE, BLOCK_SIZE)  # isolated jump
         lfs.read(inum, 20 * BLOCK_SIZE, BLOCK_SIZE)
         assert all(n <= 2 for n in sizes), sizes

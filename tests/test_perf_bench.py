@@ -1,13 +1,19 @@
-"""The wall-clock perf harness: structure and the copy-ledger guarantee.
+"""The wall-clock perf harness: structure, the copy-ledger guarantee,
+and the hard A/B perf gates.
 
-Wall-clock rates vary with the host, so the tests only sanity-check
-their presence; the ``datapath_bytes_copied_total`` counters come from
-the deterministic virtual-time run and are asserted exactly: the extent
-path must beat the per-block baseline by at least the 5× the design
-targets, and the A/B must not leak its store-mode switch.
+The deterministic ``datapath_bytes_copied_total`` counters are asserted
+exactly: the extent path must beat the per-block baseline by at least
+the 5× the design targets, and the A/B must not leak its store-mode
+switch.  The wall-clock gates (extent strictly faster than blockdict on
+total wall, cold read-back, and the cleaner sweep) are enforced on the
+best of interleaved rounds; because even best-of-N can lose a coin flip
+on a loaded CI host, the fixture re-runs the whole benchmark up to
+``_ATTEMPTS`` times and keeps the first run that clears the comparative
+gates — a genuine regression fails every attempt.
 """
 
 import json
+import pathlib
 
 import pytest
 
@@ -26,10 +32,28 @@ MODE_KEYS = (
     "wall_seconds_total",
 )
 
+#: The wall-clock metrics the extent mode must win outright.
+GATED_RATES = ("seg_read_segments_per_sec", "cleaner_segments_per_sec")
+
+_ATTEMPTS = 3
+
+
+def _wins_gates(results) -> bool:
+    extent = results["modes"][MODE_EXTENT]
+    base = results["modes"][MODE_BLOCKDICT]
+    if extent["wall_seconds_total"] >= base["wall_seconds_total"]:
+        return False
+    return all(extent[key] > base[key] for key in GATED_RATES)
+
 
 @pytest.fixture(scope="module")
 def results():
-    return run_perf(quick=True)
+    last = None
+    for _ in range(_ATTEMPTS):
+        last = run_perf(quick=True)
+        if _wins_gates(last):
+            break
+    return last
 
 
 def test_report_structure(results):
@@ -67,6 +91,80 @@ def test_benchmarks_did_real_work(results):
 
 def test_mode_switch_does_not_leak(results):
     assert store_mode() == MODE_EXTENT
+
+
+# -- hard wall-clock gates ----------------------------------------------------
+
+
+def test_gate_extent_wins_wall_clock(results):
+    extent = results["modes"][MODE_EXTENT]
+    base = results["modes"][MODE_BLOCKDICT]
+    assert extent["wall_seconds_total"] < base["wall_seconds_total"], (
+        f"extent wall {extent['wall_seconds_total']:.4f}s must beat "
+        f"blockdict {base['wall_seconds_total']:.4f}s")
+
+
+@pytest.mark.parametrize("key", GATED_RATES)
+def test_gate_extent_wins_rate(results, key):
+    extent = results["modes"][MODE_EXTENT]
+    base = results["modes"][MODE_BLOCKDICT]
+    assert extent[key] > base[key], (
+        f"extent {key} {extent[key]:.1f} must beat "
+        f"blockdict {base[key]:.1f}")
+
+
+def test_committed_benchmark_shows_extent_winning():
+    """The checked-in full-mode BENCH_segio.json is itself gated: a
+    regeneration that loses a gate must not be committed."""
+    path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_segio.json"
+    data = json.loads(path.read_text())
+    extent = data["modes"][MODE_EXTENT]
+    base = data["modes"][MODE_BLOCKDICT]
+    assert extent["wall_seconds_total"] < base["wall_seconds_total"]
+    for key in GATED_RATES:
+        assert extent[key] > base[key], key
+    assert data["copied_reduction_factor"] >= 5.0
+    assert data["repeats"] >= 3 and data["aggregation"] == "best"
+
+
+# -- hotpath micro-section ----------------------------------------------------
+
+
+def test_hotpath_section_structure(results):
+    hp = results["hotpath"]
+    for key in ("ref_path_ns_per_block", "copy_path_ns_per_block",
+                "ref_vs_copy_speedup", "runs_after_chunked_adopt",
+                "snapshot_ns_per_run", "restore_ns_per_run",
+                "snapshot_runs", "blocks_per_transfer", "iters"):
+        assert key in hp, f"missing {key}"
+        assert hp[key] >= 0
+
+
+def test_hotpath_chunked_adopt_coalesces_to_one_run(results):
+    # Adopt-time coalescing: a segment arriving as 16-block chunked
+    # refs over one buffer must settle into a single extent row.
+    assert results["hotpath"]["runs_after_chunked_adopt"] == 1.0
+
+
+def test_hotpath_ref_path_beats_copy_path(results):
+    hp = results["hotpath"]
+    assert hp["ref_path_ns_per_block"] < hp["copy_path_ns_per_block"], (
+        "borrowing a segment must be cheaper per block than the "
+        "per-block dict copy path")
+
+
+def test_profile_mode_reports_hot_sites():
+    from repro.bench.perf import LEGS, _profile_modes
+    report = _profile_modes(file_mb=1, top_n=5)
+    assert set(report["legs"]) == {MODE_EXTENT, MODE_BLOCKDICT}
+    for legs in report["legs"].values():
+        assert set(legs) == set(LEGS)
+        for rows in legs.values():
+            assert 0 < len(rows) <= 5
+            assert rows == sorted(rows, key=lambda r: -r["cumtime_s"])
+            for row in rows:
+                assert {"site", "ncalls", "tottime_s",
+                        "cumtime_s"} <= set(row)
 
 
 def test_main_writes_json(tmp_path):
