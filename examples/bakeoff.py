@@ -13,6 +13,12 @@ hold everything; HighLight runs with a *small* disk plus the MO changer,
 showing the paper's point — comparable hot performance at a fraction of
 the disk capacity.
 
+This example deliberately bypasses the ``Client`` session front end
+(``repro.frontend``): the same raw workload must run against all three
+filesystems, and FFS/LFS have no backend adapter.  Application-facing
+examples — quickstart, the Sequoia archive, volume reclamation — show
+the sanctioned session surface.
+
 Run:  python3 examples/bakeoff.py
 """
 

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Quickstart: build a HighLight filesystem, migrate a file to tape,
-and watch a demand fetch bring it back.
+"""Quickstart: open a HighLight archive through the Client API, migrate
+a file to tertiary storage, and watch a demand fetch bring it back.
 
-This walks the paper's core loop end to end:
+This walks the paper's core loop end to end, the way an application
+sees it — one tenant-aware session front end over the whole stack:
 
 1. assemble the testbed (RZ57 disk partition + HP 6300 MO changer on one
-   SCSI bus, as in §7);
-2. write a file — it lands on the disk farm through the LFS log;
+   SCSI bus, as in §7) and open it with :func:`repro.open_node`;
+2. write a file through a session handle — it lands on the disk farm
+   through the LFS log;
 3. migrate it — the migrator assembles staging segments with tertiary
    block addresses and the I/O server copies them out via Footprint;
 4. eject the cached segments and read the file again — the read blocks
@@ -17,8 +19,9 @@ Run:  python3 examples/quickstart.py
 
 import os
 
+from repro import TenantBudget, open_node
 from repro.bench import harness
-from repro.util.units import KB, MB, fmt_rate, fmt_time
+from repro.util.units import MB, fmt_rate, fmt_time
 
 
 def main() -> None:
@@ -27,22 +30,29 @@ def main() -> None:
     harness.preload_write_volume(bed)
     fs, app = bed.fs, bed.app
 
-    # 1. Ordinary file I/O: applications just use the filesystem.
+    # One client over the single-node stack; "science" is our tenant,
+    # entitled to 4 MB/s of admitted data-plane traffic.
+    client = open_node(bed)
+    client.tenant("science", TenantBudget(rate_bytes_per_s=4 * MB,
+                                          burst_bytes=4 * MB))
+
+    # 1. Ordinary file I/O: applications open handles and read/write.
     payload = os.urandom(2 * MB)
-    fs.mkdir("/data")
-    fs.write_path("/data/results.bin", payload)
+    handle = client.open(app, "/data/results.bin", tenant="science",
+                         create=True)
+    handle.write(app, payload)
+    stat = handle.stat(app)
     fs.checkpoint()
-    print(f"wrote 2MB to /data/results.bin          "
+    print(f"wrote {stat.size // MB}MB to {stat.path}          "
           f"(virtual time {fmt_time(app.time)})")
     print(f"   disk segments: {fs.df()['segments']}, "
           f"clean: {fs.df()['clean']}")
 
-    # 2. Let the file age, then migrate it to the MO changer.
+    # 2. Let the file age, then migrate it to the MO changer — a
+    #    background op billed to the same tenant's budget.
     app.sleep(3600)
     t0 = app.time
-    bed.migrator.migrate_file("/data/results.bin")
-    bed.migrator.flush()
-    fs.checkpoint()
+    client.migrate(app, handle)
     stats = bed.migrator.stats
     print(f"migrated: {stats.blocks_migrated} blocks in "
           f"{stats.segments_staged} tertiary segments "
@@ -51,15 +61,15 @@ def main() -> None:
 
     # 3. Reads are still disk-speed: the staged segments remain cached.
     t0 = app.time
-    assert fs.read_path("/data/results.bin") == payload
+    assert handle.read(app) == payload
     print(f"read while cached: {fmt_time(app.time - t0)} "
           f"({fmt_rate(2 * MB / (app.time - t0))})")
 
     # 4. Eject the cache; the next read demand-fetches from the jukebox.
-    fs.service.flush_cache(app)
-    fs.drop_caches(drop_inodes=True)
+    client.drop_caches(app)
     t0 = app.time
-    assert fs.read_path("/data/results.bin") == payload
+    assert handle.read(app) == payload
+    client.close(app, handle)
     print(f"read after eject:  {fmt_time(app.time - t0)} "
           f"({fs.stats.demand_fetches} demand fetches, "
           f"{bed.jukebox.swap_count} media swaps)")
@@ -67,11 +77,14 @@ def main() -> None:
     # 5. Crash and remount: everything (including the cache directory)
     #    is rebuilt from the media.
     fs.checkpoint()
-    from repro import HighLightFS
+    from repro import HighLightFS, open_node as reopen
     fs2 = HighLightFS.mount_highlight(
         bed.disks[0] if len(bed.disks) == 1 else bed.disks,
         bed.footprint)
-    assert fs2.read_path("/data/results.bin") == payload
+    client2 = reopen(fs2)
+    h2 = client2.open(app, "/data/results.bin")
+    assert h2.read(app) == payload
+    h2.close(app)
     print(f"remount after crash: file intact, "
           f"{len(fs2.cache)} cache lines rebuilt")
     print("quickstart complete.")

@@ -21,6 +21,7 @@ import os
 from repro.bench import harness
 from repro import Migrator
 from repro import NamespacePolicy
+from repro import open_node
 from repro.core.prefetch import UnitPrefetch
 from repro.util.units import KB, MB, fmt_time
 
@@ -37,24 +38,27 @@ def main() -> None:
     bed = harness.make_highlight(partition_bytes=256 * MB, n_platters=8)
     harness.preload_write_volume(bed)
     fs, app = bed.fs, bed.app
+    client = open_node(bed)  # all data-plane I/O goes through sessions
 
     # Load the data sets (each image ~300 KB here; scaled down from the
     # multi-MB originals to keep the example snappy).
-    fs.mkdir("/sequoia")
     contents = {}
     for dataset, nfiles in DATASETS.items():
-        fs.mkdir(f"/sequoia/{dataset}")
         for i in range(nfiles):
             path = f"/sequoia/{dataset}/band{i}.img"
             contents[path] = os.urandom(300 * KB)
-            fs.write_path(path, contents[path])
+            handle = client.open(app, path, create=True)
+            handle.write(app, contents[path])
+            handle.close(app)
     fs.checkpoint()
     print(f"loaded {len(contents)} images across {len(DATASETS)} data sets")
 
     # Two data sets go cold; one is being actively analysed.
     app.sleep(7200)
     for i in range(DATASETS["goes_pacific"]):
-        fs.read_path(f"/sequoia/goes_pacific/band{i}.img", 0, 4096)
+        handle = client.open(app, f"/sequoia/goes_pacific/band{i}.img")
+        handle.read(app, 0, 4096)
+        handle.close(app)
     app.sleep(600)
 
     # Nightly migration pass with the namespace policy: whole subtrees
@@ -78,7 +82,9 @@ def main() -> None:
 
     first = "/sequoia/avhrr_1990/band0.img"
     t0 = app.time
-    assert fs.read_path(first) == contents[first]
+    handle = client.open(app, first)
+    assert handle.read(app) == contents[first]
+    handle.close(app)
     first_open = app.time - t0
     print(f"first image open (demand fetch + unit prefetch): "
           f"{fmt_time(first_open)}")
@@ -86,7 +92,9 @@ def main() -> None:
     t0 = app.time
     for i in range(1, DATASETS["avhrr_1990"]):
         path = f"/sequoia/avhrr_1990/band{i}.img"
-        assert fs.read_path(path) == contents[path]
+        handle = client.open(app, path)
+        assert handle.read(app) == contents[path]
+        handle.close(app)
     rest_open = app.time - t0
     print(f"remaining {DATASETS['avhrr_1990'] - 1} images "
           f"(prefetched, disk speed): {fmt_time(rest_open)}")

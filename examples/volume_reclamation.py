@@ -22,6 +22,7 @@ from repro import Migrator
 from repro import STPPolicy
 from repro.core.rearrange import SegmentRearranger
 from repro.core.tcleaner import TertiaryCleaner
+from repro import open_node
 from repro.util.units import KB, MB, fmt_time
 
 
@@ -31,14 +32,16 @@ def main() -> None:
                                  platter_constraint=8 * MB)
     harness.preload_write_volume(bed)
     fs, app = bed.fs, bed.app
+    client = open_node(bed)  # sessions for the data plane, fs for ops
 
     # Season 1: data arrives, the daemon keeps the disk comfortable.
     datasets = {}
-    fs.mkdir("/archive")
     for i in range(12):
         path = f"/archive/set{i:02d}"
         datasets[path] = os.urandom(2 * MB)
-        fs.write_path(path, datasets[path])
+        handle = client.open(app, path, create=True)
+        handle.write(app, datasets[path])
+        handle.close(app)
         app.sleep(1800)
     fs.checkpoint()
     app.sleep(3600)
@@ -58,7 +61,9 @@ def main() -> None:
     for i in range(0, 12, 2):
         path = f"/archive/set{i:02d}"
         datasets[path] = os.urandom(2 * MB)
-        fs.write_path(path, datasets[path])
+        handle = client.open(app, path)
+        handle.write(app, datasets[path])
+        handle.close(app)
         fs.sync()
     fs.checkpoint()
     frag = [fs.tsegfile.live_bytes(v) // KB
@@ -87,7 +92,9 @@ def main() -> None:
         fs.service.flush_cache(app)
         fs.drop_caches(app, drop_inodes=True)
         for path in pair:
-            fs.read_path(path, 0, 16 * KB)
+            handle = client.open(app, path)
+            handle.read(app, 0, 16 * KB)
+            handle.close(app)
             app.sleep(30)
         app.sleep(1200)
     moved = rearranger.run_once(app)
@@ -99,7 +106,9 @@ def main() -> None:
     fs.service.flush_cache(app)
     fs.drop_caches(app, drop_inodes=True)
     for path, payload in datasets.items():
-        assert fs.read_path(path) == payload, path
+        handle = client.open(app, path)
+        assert handle.read(app) == payload, path
+        handle.close(app)
     from repro.lfs.check import check_filesystem
     report = check_filesystem(fs)
     assert report.ok, report.render()

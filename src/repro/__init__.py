@@ -31,6 +31,11 @@ Package map
 ``repro.workloads``
     Workload generators (the large-object benchmark, archival traces,
     project trees, checkpoints, database page mixes).
+``repro.frontend``
+    The multi-tenant session layer: one ``Client`` API (handles,
+    per-tenant budgets, token-bucket admission) over interchangeable
+    single-node and cluster backends, plus the seeded workload
+    generator and SLO engine behind the ``frontend`` bench scenario.
 ``repro.bench``
     Testbed construction and runners regenerating every paper table and
     figure (``python -m repro.bench``).
@@ -74,6 +79,11 @@ _EXPORTS = {
     "LRUEjection": "repro.core.policies",
     "RandomEjection": "repro.core.policies",
     "LeastWorthyEjection": "repro.core.policies",
+    # the multi-tenant session front end
+    "Client": "repro.frontend",
+    "TenantBudget": "repro.frontend",
+    "open_node": "repro.frontend",
+    "open_cluster": "repro.frontend",
     # fault injection & recovery
     "FaultPlan": "repro.faults",
     "FaultSpec": "repro.faults",
@@ -87,8 +97,8 @@ _EXPORTS = {
 }
 
 __all__ = sorted(_EXPORTS) + [
-    "sim", "blockdev", "footprint", "faults", "lfs", "ffs", "core",
-    "workloads", "bench", "errors", "obs", "util",
+    "sim", "blockdev", "footprint", "faults", "frontend", "lfs", "ffs",
+    "core", "workloads", "bench", "errors", "obs", "util",
 ]
 
 

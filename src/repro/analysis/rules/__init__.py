@@ -23,6 +23,8 @@ from repro.analysis.rules.hl011_borrow_escape import HL011BorrowEscape
 from repro.analysis.rules.hl012_actor_discipline import HL012ActorDiscipline
 from repro.analysis.rules.hl013_transitive_clock import HL013TransitiveClock
 from repro.analysis.rules.hl014_cluster_locality import HL014ClusterLocality
+from repro.analysis.rules.hl015_frontend_discipline import (
+    HL015FrontendDiscipline)
 
 ALL_RULES = (
     HL001ClockPurity,
@@ -39,6 +41,7 @@ ALL_RULES = (
     HL012ActorDiscipline,
     HL013TransitiveClock,
     HL014ClusterLocality,
+    HL015FrontendDiscipline,
 )
 
 __all__ = ["ALL_RULES", "default_rules"] + [cls.__name__ for cls in ALL_RULES]

@@ -62,8 +62,11 @@ class HL012ActorDiscipline(Rule):
     #: the documented conservative join of the shared-nothing shard
     #: timelines (requests arrive at the client's time, shards serve on
     #: their own timelines, the client resumes at the latest
-    #: completion; see repro.cluster.router).
-    exempt = ("repro.sim", "repro.cluster.router", "repro.cluster.migrate")
+    #: completion; see repro.cluster.router).  The frontend's cluster
+    #: backend adapter performs the same join for its background verbs
+    #: (migrate/prefetch fan-out onto the owning shards' actors).
+    exempt = ("repro.sim", "repro.cluster.router", "repro.cluster.migrate",
+              "repro.frontend.backends")
     uses_program = True
 
     def __init__(self, *args, **kwargs) -> None:

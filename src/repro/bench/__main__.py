@@ -4,6 +4,7 @@ Usage:
     python3 -m repro.bench                        # everything
     python3 -m repro.bench table2 fig4            # a selection
     python3 -m repro.bench --scenario contention  # mixed-load scenarios
+    python3 -m repro.bench --scenario frontend --seed 7  # reseed the run
     python3 -m repro.bench --list-scenarios       # what --scenario accepts
     python3 -m repro.bench --perf [--quick] [--profile]  # seg-I/O perf
     python3 -m repro.bench --perf --check         # CI perf regression gate
@@ -36,6 +37,15 @@ def main(argv: list[str]) -> int:
     quick = "--quick" in args
     if quick:
         args.remove("--quick")
+    seed: int | None = None
+    if "--seed" in args:
+        idx = args.index("--seed")
+        try:
+            seed = int(args[idx + 1])
+        except (IndexError, ValueError):
+            print("--seed needs an integer")
+            return 2
+        del args[idx:idx + 2]
     if "--perf" in args:
         args.remove("--perf")
         profile = "--profile" in args
@@ -91,15 +101,23 @@ def main(argv: list[str]) -> int:
     failures = 0
     for name in scenario_names:
         obs.reset()
-        _data, report = scenarios.SCENARIOS[name](quick=quick)
-        snap_path = harness.dump_observability(f"scenario_{name}")
+        data, report = scenarios.SCENARIOS[name](quick=quick, seed=seed)
+        # The seed the run actually used: the CLI one, else whatever
+        # default the scenario reports back (flat-dict scenarios record
+        # it under "seed"; nested ones draw no random numbers).
+        used = seed if seed is not None else data.get("seed")
+        header = {"scenario": name, "quick": quick,
+                  "seed": None if used is None else int(used)}
+        snap_path = harness.dump_observability(f"scenario_{name}",
+                                               header=header)
         print(report)
         print(f"  observability snapshot: {snap_path}")
         print()
     for name in names:
         obs.reset()
         result = RUNNERS[name]()
-        snap_path = harness.dump_observability(name)
+        snap_path = harness.dump_observability(
+            name, header={"experiment": name, "quick": quick})
         if name.startswith("table"):
             _data, report = result
             print(report)

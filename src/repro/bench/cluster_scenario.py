@@ -20,7 +20,7 @@ Gates (RuntimeError on violation):
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs, sim
 from repro.cluster import ClusterNode, ClusterRouter, cluster_rollup
@@ -50,10 +50,11 @@ def _files(quick: bool) -> Dict[str, bytes]:
             for i in range(count)}
 
 
-def _zipf_requests(paths: Sequence[str], total: int) -> List[str]:
+def _zipf_requests(paths: Sequence[str], total: int,
+                   seed: int = _CLUSTER_SEED) -> List[str]:
     """``total`` file picks under a Zipf(s) popularity law, seeded so
     every shard count replays the identical request stream."""
-    rng = random.Random(_CLUSTER_SEED)
+    rng = random.Random(seed)
     weights = [1.0 / (rank + 1) ** _ZIPF_S for rank in range(len(paths))]
     scale = sum(weights)
     out: List[str] = []
@@ -70,7 +71,8 @@ def _zipf_requests(paths: Sequence[str], total: int) -> List[str]:
 
 
 def _build_cluster(n_shards: int, files: Dict[str, bytes],
-                   replicate: bool = False) -> ClusterRouter:
+                   replicate: bool = False,
+                   seed: int = _CLUSTER_SEED) -> ClusterRouter:
     """A loaded cluster: archive written, migrated to tertiary, caches
     cold — every read in the measured phase starts as demand traffic."""
     nodes = [ClusterNode(i, n_platters=_SHARD_PLATTERS,
@@ -78,7 +80,7 @@ def _build_cluster(n_shards: int, files: Dict[str, bytes],
                          config=HighLightConfig(),
                          replicate=replicate)
              for i in range(n_shards)]
-    router = ClusterRouter(nodes, seed=_CLUSTER_SEED)
+    router = ClusterRouter(nodes, seed=seed)
     loader = Actor("cluster-loader")
     for path, data in files.items():
         router.write_path(loader, path, data)
@@ -125,11 +127,12 @@ def _p99(samples: List[float]) -> float:
 
 
 def _scaling_leg(counts: Sequence[int], files: Dict[str, bytes],
-                 requests: Sequence[str], n_clients: int
+                 requests: Sequence[str], n_clients: int,
+                 seed: int = _CLUSTER_SEED
                  ) -> Dict[int, Dict[str, float]]:
     per_count: Dict[int, Dict[str, float]] = {}
     for n in counts:
-        router = _build_cluster(n, files)
+        router = _build_cluster(n, files, seed=seed)
         start = router.makespan()
         lat, bad, makespan = _run_workload(router, requests, files,
                                            n_clients, start)
@@ -161,10 +164,11 @@ def _quarantine_victim(router: ClusterRouter) -> Tuple[ClusterNode, int]:
 
 
 def _quarantine_leg(files: Dict[str, bytes], requests: Sequence[str],
-                    n_clients: int) -> Dict[str, float]:
+                    n_clients: int,
+                    seed: int = _CLUSTER_SEED) -> Dict[str, float]:
     """4-shard replicated cluster; mid-run, force-quarantine the victim
     volume and keep reading.  Zero acknowledged-byte loss required."""
-    router = _build_cluster(4, files, replicate=True)
+    router = _build_cluster(4, files, replicate=True, seed=seed)
     half = len(requests) // 2
     start = router.makespan()
     lat1, bad1, _ = _run_workload(router, requests[:half], files,
@@ -204,23 +208,27 @@ def _quarantine_leg(files: Dict[str, bytes], requests: Sequence[str],
     }
 
 
-def run_cluster(quick: bool = False) -> Tuple[Dict[str, float], str]:
+def run_cluster(quick: bool = False,
+                seed: Optional[int] = None) -> Tuple[Dict[str, float], str]:
     """Zipfian demand workload vs 1/2/4(/8) shards plus the mid-run
     quarantine leg; returns (data, report) and raises on any violated
-    scaling or durability gate."""
+    scaling or durability gate.  ``seed`` reseeds both the Zipf request
+    stream and the routers' hash rings (default ``_CLUSTER_SEED``)."""
+    seed = _CLUSTER_SEED if seed is None else int(seed)
     files = _files(quick)
     counts = (1, 2, 4) if quick else (1, 2, 4, 8)
     n_clients = 4 if quick else 6
     n_requests = 40 if quick else 96
-    requests = _zipf_requests(sorted(files), n_requests)
+    requests = _zipf_requests(sorted(files), n_requests, seed)
 
-    per_count = _scaling_leg(counts, files, requests, n_clients)
-    quarantine = _quarantine_leg(files, requests, n_clients)
+    per_count = _scaling_leg(counts, files, requests, n_clients, seed)
+    quarantine = _quarantine_leg(files, requests, n_clients, seed)
 
     tput = {n: per_count[n]["throughput_bytes_per_second"]
             for n in counts}
     speedup4 = tput[4] / tput[1]
-    data: Dict[str, float] = {"speedup_4_shards": speedup4}
+    data: Dict[str, float] = {"speedup_4_shards": speedup4,
+                              "seed": float(seed)}
     for n in counts:
         for name, value in per_count[n].items():
             data[f"shards{n}_{name}"] = value
@@ -268,7 +276,7 @@ def run_cluster(quick: bool = False) -> Tuple[Dict[str, float], str]:
 
     lines = [
         "cluster: Zipfian demand workload over consistent-hash shards "
-        f"({'quick' if quick else 'full'}, seed {_CLUSTER_SEED}, "
+        f"({'quick' if quick else 'full'}, seed {seed}, "
         f"{len(files)} files x {_FILE_BYTES // MB} MB, "
         f"{n_requests} reads, {n_clients} clients)",
     ]

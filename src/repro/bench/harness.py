@@ -117,18 +117,21 @@ OBS_DIR_ENV = "REPRO_OBS_DIR"
 DEFAULT_OBS_DIR = "obs-snapshots"
 
 
-def dump_observability(name: str, out_dir: Optional[str] = None) -> str:
+def dump_observability(name: str, out_dir: Optional[str] = None,
+                       header: Optional[dict] = None) -> str:
     """Write the current metrics + trace snapshot for benchmark ``name``.
 
     The destination directory comes from ``out_dir``, else the
     ``REPRO_OBS_DIR`` environment variable, else ``obs-snapshots/`` under
-    the working directory.  Returns the path written.
+    the working directory.  ``header`` (run provenance: scenario, seed,
+    quick flag) is recorded at the top of the snapshot.  Returns the
+    path written.
     """
     from repro.obs.report import write_snapshot
     out_dir = out_dir or os.environ.get(OBS_DIR_ENV) or DEFAULT_OBS_DIR
     safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
     path = os.path.join(out_dir, f"{safe}.json")
-    write_snapshot(path)
+    write_snapshot(path, header=header)
     return path
 
 

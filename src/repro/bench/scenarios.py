@@ -27,7 +27,7 @@ for the CI-sized run).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.bench import harness
@@ -121,12 +121,14 @@ def _run_mode(mode: str) -> Dict[str, float]:
     }
 
 
-def run_contention(quick: bool = False) -> Tuple[Dict[str, Dict[str, float]], str]:
+def run_contention(quick: bool = False, seed: Optional[int] = None
+                   ) -> Tuple[Dict[str, Dict[str, float]], str]:
     """Demand fetches vs. background write-outs/cleaner reads, scheduler
     off (pass-through FIFO) and on; returns (data, report).
 
-    ``quick`` is accepted for CLI uniformity; the scenario is already
-    CI-sized.
+    ``quick`` and ``seed`` are accepted for CLI uniformity; the scenario
+    is already CI-sized and draws no random numbers (the workload is a
+    fixed interleave), so the seed only lands in the snapshot header.
     """
     data = {}
     for mode in (MODE_PASSTHROUGH, MODE_SCHEDULED):
@@ -179,10 +181,10 @@ def _chaos_files(quick: bool) -> Dict[str, bytes]:
             for i in range(n_files)}
 
 
-def _chaos_build(files: Dict[str, bytes]):
+def _chaos_build(files: Dict[str, bytes], seed: int = _CHAOS_SEED):
     """A replicated archive on the compact jukebox bed: every migrated
     segment has one replica on a different volume (copies=1)."""
-    config = HighLightConfig(fault_retry_seed=_CHAOS_SEED)
+    config = HighLightConfig(fault_retry_seed=seed)
     bed = harness.make_highlight(partition_bytes=128 * MB, n_platters=8,
                                  platter_constraint=4 * MB, config=config)
     harness.preload_write_volume(bed)
@@ -208,11 +210,11 @@ def _chaos_build(files: Dict[str, bytes]):
     return bed, replicas
 
 
-def _chaos_plan(bed) -> FaultPlan:
+def _chaos_plan(bed, seed: int = _CHAOS_SEED) -> FaultPlan:
     """The storm: one destroyed medium under migrated data, plus
     transient noise everywhere (all draws from one seeded RNG)."""
     victim = bed.fs.tsegfile.volumes[0].volume_id
-    plan = FaultPlan(seed=_CHAOS_SEED)
+    plan = FaultPlan(seed=seed)
     plan.add(FaultSpec(KIND_MEDIA_DEAD, volume_id=victim, op="read"))
     plan.add(FaultSpec(KIND_MEDIA_ERROR, op="read", count=4,
                        probability=0.12))
@@ -246,19 +248,23 @@ def _p99(samples: List[float]) -> float:
     return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
 
 
-def run_chaos(quick: bool = False) -> Tuple[Dict[str, float], str]:
+def run_chaos(quick: bool = False,
+              seed: Optional[int] = None) -> Tuple[Dict[str, float], str]:
     """Seeded fault storm over a replicated archive vs. the fault-free
     baseline; returns (data, report) and raises on any violated
-    guarantee (corruption, missing quarantine, unbounded latency)."""
+    guarantee (corruption, missing quarantine, unbounded latency).
+    ``seed`` reseeds both the storm's fault draws and the retry jitter
+    (default ``_CHAOS_SEED``)."""
+    seed = _CHAOS_SEED if seed is None else int(seed)
     files = _chaos_files(quick)
 
     # Fault-free baseline: identical bed, identical workload, no plan.
-    bed, _ = _chaos_build(files)
+    bed, _ = _chaos_build(files, seed)
     base_lat, base_bad = _chaos_read_back(bed, files)
 
     # The storm, then the repair daemon, then a full re-read.
-    bed, replicas = _chaos_build(files)
-    fm = FaultManager(bed.fs, plan=_chaos_plan(bed),
+    bed, replicas = _chaos_build(files, seed)
+    fm = FaultManager(bed.fs, plan=_chaos_plan(bed, seed),
                       replicas=replicas).install()
     storm_lat, storm_bad = _chaos_read_back(bed, files)
     rehomed = fm.repair.run_once(bed.app)
@@ -278,6 +284,7 @@ def run_chaos(quick: bool = False) -> Tuple[Dict[str, float], str]:
         "quarantined_volumes": float(quarantined),
         "segments_rehomed": float(rehomed),
         "volumes_retired": float(fm.repair.volumes_retired),
+        "seed": float(seed),
     }
     for name, value in data.items():
         obs.gauge(f"chaos_{name}",
@@ -301,7 +308,7 @@ def run_chaos(quick: bool = False) -> Tuple[Dict[str, float], str]:
 
     lines = [
         "chaos: seeded fault storm over a replicated archive "
-        f"({'quick' if quick else 'full'}, seed {_CHAOS_SEED})",
+        f"({'quick' if quick else 'full'}, seed {seed})",
         f"  faults injected {data['faults_injected']:.0f}, retries "
         f"{data['retry_attempts']:.0f}, degraded reads "
         f"{data['degraded_reads']:.0f}",
@@ -441,12 +448,16 @@ def _crash_scrub_leg() -> Dict[str, float]:
     return {"rot_detected": detected, "rot_entries": float(len(entries))}
 
 
-def run_crashes(quick: bool = False) -> Tuple[Dict[str, float], str]:
+def run_crashes(quick: bool = False,
+                seed: Optional[int] = None) -> Tuple[Dict[str, float], str]:
     """The crash-consistency gate: kill the process model at seeded
     store-write points across pipeline phases, restart from the media,
     and demand zero acknowledged-byte loss plus a clean fsck at every
     point; then one scrub leg proving injected bit-rot is caught within
-    a single cycle.  Raises on any violated guarantee."""
+    a single cycle.  Raises on any violated guarantee.  The kill matrix
+    itself is exhaustive (every phase x point), so ``seed`` is recorded
+    for snapshot provenance rather than drawn from."""
+    seed = _CRASH_SEED if seed is None else int(seed)
     phases = ("segwrite", "checkpoint", "migration")
     points = (0, 2, 5) if quick else (0, 1, 2, 3, 5, 7)
 
@@ -468,6 +479,7 @@ def run_crashes(quick: bool = False) -> Tuple[Dict[str, float], str]:
         "writeouts_requeued": sum(o["requeued"] for o in outcomes),
         "scrub_rot_detected": scrub["rot_detected"],
         "scrub_ledger_entries": scrub["rot_entries"],
+        "seed": float(seed),
     }
     for name, value in data.items():
         obs.gauge(f"crashes_{name}",
@@ -487,7 +499,7 @@ def run_crashes(quick: bool = False) -> Tuple[Dict[str, float], str]:
     lines = [
         "crashes: seeded kill points across the write/checkpoint/"
         f"migration pipeline ({'quick' if quick else 'full'}, "
-        f"seed {_CRASH_SEED})",
+        f"seed {seed})",
         f"  {data['crash_points']:.0f} crash points, "
         f"{data['crashes_fired']:.0f} fired mid-write, "
         f"{data['writeouts_requeued']:.0f} write-outs requeued",
@@ -501,10 +513,12 @@ def run_crashes(quick: bool = False) -> Tuple[Dict[str, float], str]:
 
 
 from repro.bench.cluster_scenario import run_cluster  # noqa: E402
+from repro.bench.frontend_scenario import run_frontend  # noqa: E402
 
 SCENARIOS = {
     "contention": run_contention,
     "chaos": run_chaos,
     "crashes": run_crashes,
     "cluster": run_cluster,
+    "frontend": run_frontend,
 }

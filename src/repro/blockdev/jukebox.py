@@ -55,20 +55,6 @@ class RemovableVolume:
         #: RETIRED volumes raise MediaFailure on I/O.
         self.health = VolumeHealth.ONLINE
 
-    @property
-    def failed(self) -> bool:
-        """Deprecated alias: True when the volume no longer serves I/O.
-
-        Kept for callers predating :class:`~repro.faults.VolumeHealth`;
-        new code should read :attr:`health` directly.
-        """
-        return not self.health.serving
-
-    @failed.setter
-    def failed(self, value: bool) -> None:
-        self.health = (VolumeHealth.QUARANTINED if value
-                       else VolumeHealth.ONLINE)
-
     def inject_failure(self, t: float = 0.0, reason: str = "media_failure"
                        ) -> None:
         """Fail this volume (fault-injection harness entry point).
@@ -112,7 +98,7 @@ class Drive(ABC):
     def require_loaded(self) -> RemovableVolume:
         if self.loaded is None:
             raise VolumeNotLoaded(f"drive {self.name} is empty")
-        if self.loaded.failed:
+        if not self.loaded.health.serving:
             from repro.errors import MediaFailure
             raise MediaFailure(
                 f"volume {self.loaded.volume_id} has failed "

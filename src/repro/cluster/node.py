@@ -130,6 +130,11 @@ class ClusterNode:
         self.migrator.migrate_file(obj_path(key), actor, unit_tag=key)
         self.migrated.add(key)
 
+    def seal(self, actor: Actor) -> None:
+        """Seal staged segments into queued write-outs without draining
+        them (the front end's cap-aware migrate path pumps separately)."""
+        self.migrator.flush(actor)
+
     def flush(self, actor: Actor) -> None:
         """Seal staged segments, drain the scheduler, checkpoint."""
         self.migrator.flush(actor)

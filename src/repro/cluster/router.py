@@ -24,13 +24,14 @@ lowest-clock-first discipline keeps the interleaving deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.cluster.node import ClusterNode
 from repro.cluster.ring import HashRing
 from repro.errors import FileNotFound, InvalidArgument
+from repro.frontend.session import FileSession, SessionTable
 from repro.sim.actor import Actor
 from repro.util.units import MB
 
@@ -47,17 +48,6 @@ DEFAULT_STRIPE_BYTES = 1 * MB
 def extent_key(path: str, index: int) -> str:
     """The placement key of one stripe of ``path``."""
     return f"{path}#{index}"
-
-
-@dataclass
-class Session:
-    """One open file handle."""
-
-    fd: int
-    path: str
-    client: str
-    reads: int = 0
-    writes: int = 0
 
 
 class ClusterRouter:
@@ -86,8 +76,9 @@ class ClusterRouter:
         #: ``rebalance`` diffs this against the ring after membership
         #: changes; between changes it always agrees with the ring.
         self.placement: Dict[str, int] = {}
-        self._sessions: Dict[int, Session] = {}
-        self._next_fd = 3
+        #: Same session objects the tenant front end uses — one session
+        #: implementation, two backends (repro.frontend.session).
+        self.sessions = SessionTable(first_fd=3)
 
     # -- placement ---------------------------------------------------------------
 
@@ -113,33 +104,42 @@ class ClusterRouter:
     # -- the session surface -----------------------------------------------------
 
     def open(self, client: Actor, path: str, create: bool = False) -> int:
-        """Open ``path``; returns a file descriptor."""
+        """Open ``path``; returns a file descriptor.
+
+        .. deprecated::
+            Constructing sessions directly on the router is the legacy
+            surface; open tenant-aware handles through
+            :func:`repro.open_cluster` (the ``Client`` API) instead.
+            The descriptor semantics are unchanged — both surfaces
+            share one session implementation.
+        """
+        warnings.warn(
+            "ClusterRouter.open() is deprecated; open sessions through "
+            "the Client API (repro.open_cluster) instead",
+            DeprecationWarning, stacklevel=2)
+        return self._open(client, path, create)
+
+    def _open(self, client: Actor, path: str, create: bool = False) -> int:
         if path not in self.namespace:
             if not create:
                 raise FileNotFound(f"no such cluster file: {path}")
             self.namespace[path] = 0
-        fd = self._next_fd
-        self._next_fd += 1
-        self._sessions[fd] = Session(fd=fd, path=path, client=client.name)
+        sess = self.sessions.open(path, owner=client.name)
         obs.counter("cluster_opens_total",
                     "cluster files opened through the router").inc()
-        return fd
+        return sess.fd
 
     def close(self, client: Actor, fd: int) -> None:
-        """Close a descriptor."""
-        self._session(fd)
-        del self._sessions[fd]
+        """Close a descriptor (HandleClosed on double close)."""
+        self.sessions.close(fd)
 
     def size_of(self, path: str) -> int:
         if path not in self.namespace:
             raise FileNotFound(f"no such cluster file: {path}")
         return self.namespace[path]
 
-    def _session(self, fd: int) -> Session:
-        sess = self._sessions.get(fd)
-        if sess is None:
-            raise InvalidArgument(f"bad cluster file descriptor {fd}")
-        return sess
+    def _session(self, fd: int) -> FileSession:
+        return self.sessions.get(fd)
 
     def write(self, client: Actor, fd: int, offset: int, data: bytes) -> int:
         """Write ``data`` at ``offset``, striped across the owning shards."""
@@ -168,7 +168,7 @@ class ClusterRouter:
 
     def write_path(self, client: Actor, path: str, data: bytes,
                    offset: int = 0) -> int:
-        fd = self.open(client, path, create=True)
+        fd = self._open(client, path, create=True)
         try:
             return self.write(client, fd, offset, data)
         finally:
@@ -176,7 +176,7 @@ class ClusterRouter:
 
     def read_path(self, client: Actor, path: str, offset: int = 0,
                   nbytes: int = -1) -> bytes:
-        fd = self.open(client, path)
+        fd = self._open(client, path)
         try:
             return self.read(client, fd, offset, nbytes)
         finally:

@@ -130,7 +130,7 @@ class ReplicaManager:
         # scrubber caught a checksum mismatch on it) is as unusable as
         # failed media: serving "healthy" reads from it would hand back
         # the very bytes the quarantine distrusts.
-        return bool(volume.failed or not volume.health.serving)
+        return not volume.health.serving
 
     def _loaded(self, vol_id: int) -> bool:
         jukebox = getattr(self.fs.footprint, "jukebox", None)

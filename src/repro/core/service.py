@@ -45,8 +45,17 @@ class ServiceProcess:
         #: Installed by the Migrator: re-stages a line after EndOfMedium.
         self.restage_handler: Optional[Callable[[Actor, int], int]] = None
         if sched is None:
-            # Standalone construction (tests): a pass-through scheduler
+            # Standalone construction: a pass-through scheduler
             # preserves the historical synchronous pipeline exactly.
+            # The sanctioned wiring is HighLightFS.attach_tertiary —
+            # and sessions on top of it belong to the Client front end.
+            import warnings
+            warnings.warn(
+                "constructing a ServiceProcess without a scheduler is "
+                "deprecated; wire it through HighLightFS.attach_tertiary "
+                "and drive sessions through the Client API "
+                "(repro.open_node) instead",
+                DeprecationWarning, stacklevel=2)
             from repro.sched import TertiaryScheduler
             sched = TertiaryScheduler(fs, ioserver)
         self.sched = sched

@@ -187,6 +187,34 @@ class TertiaryExhausted(MigrationError):
 
 
 # --------------------------------------------------------------------------
+# Client front end (repro.frontend)
+# --------------------------------------------------------------------------
+
+class FrontendError(ReproError):
+    """Base class for client/session front-end faults."""
+
+
+class HandleClosed(FrontendError):
+    """A closed (or never-opened) handle was used: double close,
+    read-after-close, or a stale file descriptor."""
+
+
+class AdmissionRejected(FrontendError):
+    """A tenant request was refused by admission control.
+
+    Raised when a tenant exceeds a hard cap in its
+    :class:`~repro.frontend.TenantBudget` — open handles, or queued
+    background work of a droppable class.  Rate-limited *data* requests
+    are never rejected: the token bucket paces them in virtual time
+    instead.
+    """
+
+
+class UnknownTenant(FrontendError):
+    """An operation named a tenant the client has not registered."""
+
+
+# --------------------------------------------------------------------------
 # Tertiary request scheduler
 # --------------------------------------------------------------------------
 

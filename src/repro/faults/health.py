@@ -18,9 +18,9 @@ state machine.  This module is that state machine:
                                                          RETIRED
 
 ``ONLINE``/``DEGRADED`` volumes serve I/O; ``QUARANTINED``/``RETIRED``
-volumes refuse it (the drive raises ``MediaFailure``), and the legacy
-``RemovableVolume.failed`` bool is now a property alias for exactly that
-predicate.
+volumes refuse it (the drive raises ``MediaFailure``) — every caller
+reads ``volume.health`` directly (the transitional
+``RemovableVolume.failed`` bool alias is gone).
 
 This module is deliberately import-light (stdlib + ``repro.obs`` only)
 so the blockdev layer can depend on it without cycles.

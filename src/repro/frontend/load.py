@@ -1,0 +1,250 @@
+"""Seeded multi-tenant workload generation and replay.
+
+Simulates 10k–1M independent clients without 10k–1M actors: the
+superposition of N Poisson clients (each issuing a request every
+``mean_interarrival`` seconds on average) is itself a Poisson process
+of rate ``N / mean_interarrival``, so :func:`generate` draws one
+aggregate arrival stream — thinned against a diurnal rate curve — and
+labels each arrival with a uniformly chosen client id.  Request
+*targets* follow per-tenant Zipf popularity over the tenant's file
+population (rank r drawn with weight ``1/(r+1)^s``), matching the
+archive access skew HighLight's migration policy bets on.
+
+Everything is driven by one ``random.Random(seed)``: the same spec
+always yields the same request list, and :func:`replay` executes it in
+virtual time under the conservative simulation scheduler, so the whole
+pipeline — arrivals, admission throttling, scheduler interleaving — is
+reproducible bit-for-bit.
+
+:func:`replay` drives any :class:`~repro.frontend.session.Client`, so
+one generated workload runs unchanged on a single node or a sharded
+cluster (the `frontend` bench gate).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from itertools import accumulate
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.actor import Actor
+from repro.sim.scheduler import Scheduler
+from repro.util.units import KB
+
+__all__ = ["Request", "TenantMix", "WorkloadSpec", "ReplayResult",
+           "generate", "replay"]
+
+
+@dataclass(frozen=True)
+class TenantMix:
+    """One tenant's share and shape of the workload."""
+
+    tenant: str
+    #: Relative share of the aggregate arrival stream.
+    share: float = 1.0
+    #: Fraction of this tenant's requests that are reads (rest write).
+    read_fraction: float = 1.0
+    #: File population, ordered hot-to-cold (Zipf rank order).
+    paths: Tuple[str, ...] = ()
+    #: Bytes moved per request.
+    request_bytes: int = 64 * KB
+
+    def __post_init__(self) -> None:
+        if self.share <= 0:
+            raise ValueError("tenant share must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be within [0, 1]")
+        if not self.paths:
+            raise ValueError(f"tenant {self.tenant!r} has no files")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A seeded multi-tenant workload in virtual time."""
+
+    seed: int
+    mixes: Tuple[TenantMix, ...]
+    #: Simulated client population (labels on the arrival stream; the
+    #: generator scales to 1M clients without per-client state).
+    n_clients: int = 10_000
+    #: Arrival window in virtual seconds.
+    duration: float = 600.0
+    #: Per-client mean seconds between requests (aggregate arrival rate
+    #: is ``n_clients / mean_interarrival``).
+    mean_interarrival: float = 10_000.0
+    #: Diurnal modulation: rate(t) = base * (1 + A * sin(2*pi*t/period)).
+    diurnal_amplitude: float = 0.0
+    diurnal_period: float = 86_400.0
+    #: Zipf skew exponent for file popularity.
+    zipf_s: float = 1.1
+    #: Hard cap on generated requests (None = whatever the window holds).
+    max_requests: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ValueError("need at least one client")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal amplitude must be within [0, 1)")
+        if not self.mixes:
+            raise ValueError("workload needs at least one tenant mix")
+
+    def base_rate(self) -> float:
+        return self.n_clients / self.mean_interarrival
+
+    def rate_at(self, t: float) -> float:
+        return self.base_rate() * (
+            1.0 + self.diurnal_amplitude
+            * math.sin(2.0 * math.pi * t / self.diurnal_period))
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generated client request."""
+
+    t: float
+    client_id: int
+    tenant: str
+    op: str          # "read" | "write"
+    path: str
+    offset: int
+    nbytes: int
+
+
+def _zipf_cdf(n: int, s: float) -> List[float]:
+    weights = [1.0 / (rank + 1.0) ** s for rank in range(n)]
+    return list(accumulate(weights))
+
+
+def _pick_zipf(rng: random.Random, cdf: List[float]) -> int:
+    return bisect_left(cdf, rng.random() * cdf[-1])
+
+
+def generate(spec: WorkloadSpec) -> List[Request]:
+    """The deterministic request stream for ``spec``.
+
+    Arrivals come from a thinned Poisson process (exact for the
+    inhomogeneous diurnal rate): candidates are drawn at the peak rate
+    and accepted with probability ``rate(t) / peak``.
+    """
+    rng = random.Random(spec.seed)
+    peak = spec.base_rate() * (1.0 + spec.diurnal_amplitude)
+    tenants = list(spec.mixes)
+    share_cdf = list(accumulate(m.share for m in tenants))
+    zipf_cdfs = [_zipf_cdf(len(m.paths), spec.zipf_s) for m in tenants]
+    out: List[Request] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(peak)
+        if t >= spec.duration:
+            break
+        if rng.random() * peak > spec.rate_at(t):
+            continue  # thinned away by the diurnal trough
+        mix_idx = bisect_left(share_cdf, rng.random() * share_cdf[-1])
+        mix = tenants[mix_idx]
+        rank = _pick_zipf(rng, zipf_cdfs[mix_idx])
+        path = mix.paths[rank]
+        op = "read" if rng.random() < mix.read_fraction else "write"
+        out.append(Request(
+            t=t,
+            client_id=rng.randrange(spec.n_clients),
+            tenant=mix.tenant,
+            op=op,
+            path=path,
+            offset=0,
+            nbytes=mix.request_bytes,
+        ))
+        if spec.max_requests is not None \
+                and len(out) >= spec.max_requests:
+            break
+    return out
+
+
+@dataclass
+class ReplayResult:
+    """What one replay observed, per tenant."""
+
+    #: Client-observed latency (admission wait included) per request.
+    latencies: Dict[str, List[float]] = field(default_factory=dict)
+    #: Data-plane bytes successfully moved.
+    bytes_moved: Dict[str, int] = field(default_factory=dict)
+    #: Requests whose read came back with unexpected bytes.
+    corrupt: int = 0
+    #: Completion time of the last request (virtual seconds).
+    makespan: float = 0.0
+
+    def all_latencies(self, tenant: str) -> List[float]:
+        return self.latencies.get(tenant, [])
+
+
+def replay(client, requests: Sequence[Request], *,
+           workers_per_tenant: int = 4,
+           start: float = 0.0,
+           verify: Optional[Dict[str, bytes]] = None,
+           extra_tasks: Sequence = ()) -> ReplayResult:
+    """Execute ``requests`` against ``client`` in virtual time.
+
+    Simulated clients are multiplexed onto a bounded worker-actor pool
+    (``workers_per_tenant`` per tenant): each worker replays the
+    arrivals of its client-id slice in timestamp order, sleeping to
+    each request's arrival before issuing open -> read/write -> close
+    through the one client API.  ``verify`` maps paths to expected
+    content; reads are checked against it (prefix match).
+    ``extra_tasks`` — ``(actor, generator)`` pairs — lets a caller run
+    competing tasks (e.g. a flooding batch tenant) under the same
+    simulation scheduler.
+    """
+    result = ReplayResult()
+    by_worker: Dict[Tuple[str, int], List[Request]] = {}
+    for req in requests:
+        slot = (req.tenant, req.client_id % workers_per_tenant)
+        by_worker.setdefault(slot, []).append(req)
+
+    def worker_task(actor: Actor, slice_reqs: List[Request]):
+        for req in sorted(slice_reqs, key=lambda r: (r.t, r.client_id)):
+            if actor.time < start + req.t:
+                actor.sleep_until(start + req.t)
+            yield
+            handle = client.open(actor, req.path, tenant=req.tenant,
+                                 create=(req.op == "write"))
+            if req.op == "read":
+                data = client.read(actor, handle, req.offset, req.nbytes)
+                if verify is not None:
+                    expect = verify.get(req.path)
+                    if expect is not None and \
+                            data != expect[req.offset:
+                                           req.offset + len(data)]:
+                        result.corrupt += 1
+            else:
+                data = _payload(req)
+                client.write(actor, handle, data, req.offset)
+            client.close(actor, handle)
+            # Client-observed latency: completion minus arrival.  Queue
+            # delay behind the worker's previous request counts — a
+            # multiplexed client that arrives while its lane is busy
+            # waits exactly like a real one would.
+            latency = actor.time - (start + req.t)
+            result.latencies.setdefault(req.tenant, []).append(latency)
+            result.bytes_moved[req.tenant] = \
+                result.bytes_moved.get(req.tenant, 0) + req.nbytes
+            result.makespan = max(result.makespan, actor.time)
+            yield
+
+    sim = Scheduler()
+    for (tenant, slot), slice_reqs in sorted(by_worker.items()):
+        actor = Actor(f"fe-{tenant}-{slot}")
+        actor.sleep_until(start)
+        sim.add(actor, worker_task(actor, slice_reqs))
+    for actor, task in extra_tasks:
+        sim.add(actor, task)
+    sim.run()
+    return result
+
+
+def _payload(req: Request) -> bytes:
+    """Deterministic request payload (content derives from identity)."""
+    seedb = f"{req.tenant}:{req.path}:{req.client_id}".encode()
+    reps = req.nbytes // len(seedb) + 1
+    return (seedb * reps)[:req.nbytes]

@@ -1,0 +1,231 @@
+"""Per-tenant SLO reporting from ``frontend_request`` trace events.
+
+The PR 3 scheduler made Table-4-style accounting exact per request;
+this module rolls those requests up into what an operator actually
+signs: per-tenant p50/p99 demand latency, goodput, and two
+anti-starvation indices —
+
+* **fairness** — Jain's index over weight-normalized goodput,
+  ``J = (sum x)^2 / (n * sum x^2)`` with ``x_i = goodput_i / weight_i``.
+  1.0 means every tenant gets exactly its weighted share; ``1/n`` means
+  one tenant took everything.
+* **starvation** — ``min(x) / max(x)`` over the same normalized shares;
+  0 means some tenant moved no bytes at all.
+
+The input is the trace ring (:data:`repro.frontend.session.
+EV_FRONTEND_REQUEST` events carry ``tenant``, ``op``, ``nbytes``,
+``wait`` and ``service``), so the report can be computed live, from an
+obs snapshot on disk, or from a :class:`~repro.frontend.load.
+ReplayResult` — anywhere the events survive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.frontend.session import EV_FRONTEND_REQUEST
+
+__all__ = ["TenantReport", "SLOReport", "TenantSLO", "evaluate",
+           "from_latencies", "percentile"]
+
+#: Ops whose latency counts toward the demand SLO (the interactive
+#: surface); background control ops report goodput only.
+_DEMAND_OPS = frozenset({"read", "write"})
+
+
+def percentile(samples: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation."""
+    data = sorted(samples)
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[lo]
+    return data[lo] + (data[hi] - data[lo]) * (rank - lo)
+
+
+@dataclass
+class TenantReport:
+    """One tenant's observed service level."""
+
+    tenant: str
+    requests: int = 0
+    demand_requests: int = 0
+    bytes_moved: int = 0
+    p50_seconds: float = 0.0
+    p99_seconds: float = 0.0
+    goodput_bytes_per_s: float = 0.0
+    throttle_seconds: float = 0.0
+    #: Weight-normalized goodput share (fairness input).
+    normalized_share: float = 0.0
+
+
+@dataclass
+class SLOReport:
+    """The cluster-wide SLO compliance picture over one window."""
+
+    window_seconds: float
+    per_tenant: Dict[str, TenantReport] = field(default_factory=dict)
+    fairness_index: float = 1.0
+    starvation_index: float = 1.0
+
+    def tenant(self, name: str) -> TenantReport:
+        return self.per_tenant[name]
+
+    def render(self) -> str:
+        lines = [f"SLO window: {self.window_seconds:.1f}s virtual, "
+                 f"fairness={self.fairness_index:.3f}, "
+                 f"starvation={self.starvation_index:.3f}"]
+        for name in sorted(self.per_tenant):
+            r = self.per_tenant[name]
+            lines.append(
+                f"  {name:12s} req={r.requests:5d} "
+                f"p50={r.p50_seconds:8.3f}s p99={r.p99_seconds:8.3f}s "
+                f"goodput={r.goodput_bytes_per_s / 1024:9.1f} KB/s "
+                f"throttled={r.throttle_seconds:7.2f}s")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TenantSLO:
+    """A target to check a :class:`TenantReport` against."""
+
+    tenant: str
+    max_p99_seconds: Optional[float] = None
+    min_goodput_bytes_per_s: Optional[float] = None
+
+    def violations(self, report: SLOReport) -> List[str]:
+        out: List[str] = []
+        r = report.per_tenant.get(self.tenant)
+        if r is None:
+            return [f"tenant {self.tenant!r}: no traffic observed"]
+        if self.max_p99_seconds is not None \
+                and r.p99_seconds > self.max_p99_seconds:
+            out.append(f"tenant {self.tenant!r}: p99 {r.p99_seconds:.3f}s "
+                       f"exceeds {self.max_p99_seconds:.3f}s")
+        if self.min_goodput_bytes_per_s is not None \
+                and r.goodput_bytes_per_s < self.min_goodput_bytes_per_s:
+            out.append(f"tenant {self.tenant!r}: goodput "
+                       f"{r.goodput_bytes_per_s:.0f} B/s below "
+                       f"{self.min_goodput_bytes_per_s:.0f} B/s")
+        return out
+
+
+def _event_fields(event) -> Optional[Dict[str, object]]:
+    """Normalize a TraceEvent / snapshot dict to (is frontend, fields)."""
+    etype = getattr(event, "etype", None)
+    if etype is not None:
+        if etype != EV_FRONTEND_REQUEST:
+            return None
+        fields = dict(event.fields)
+        fields["t"] = event.t
+        return fields
+    if event.get("type") != EV_FRONTEND_REQUEST:
+        return None
+    fields = dict(event.get("fields", {}))
+    fields["t"] = event.get("t", 0.0)
+    return fields
+
+
+def evaluate(events: Iterable,
+             weights: Optional[Mapping[str, float]] = None,
+             window_seconds: Optional[float] = None) -> SLOReport:
+    """Roll ``frontend_request`` events up into an :class:`SLOReport`.
+
+    ``events`` may be live :class:`~repro.obs.trace.TraceEvent` objects
+    or snapshot dicts.  ``weights`` (tenant -> share, default 1.0)
+    normalize goodput before the fairness indices.  ``window_seconds``
+    defaults to the event time span.
+    """
+    latencies: Dict[str, List[float]] = {}
+    moved: Dict[str, int] = {}
+    counts: Dict[str, int] = {}
+    demand_counts: Dict[str, int] = {}
+    throttled: Dict[str, float] = {}
+    t_min = math.inf
+    t_max = -math.inf
+    for event in events:
+        fields = _event_fields(event)
+        if fields is None:
+            continue
+        tenant = str(fields.get("tenant", ""))
+        op = str(fields.get("op", ""))
+        t = float(fields.get("t", 0.0))
+        t_min = min(t_min, t)
+        t_max = max(t_max, t)
+        counts[tenant] = counts.get(tenant, 0) + 1
+        throttled[tenant] = throttled.get(tenant, 0.0) \
+            + float(fields.get("wait", 0.0))
+        if op in _DEMAND_OPS:
+            demand_counts[tenant] = demand_counts.get(tenant, 0) + 1
+            latencies.setdefault(tenant, []).append(
+                float(fields.get("wait", 0.0))
+                + float(fields.get("service", 0.0)))
+        moved[tenant] = moved.get(tenant, 0) + int(fields.get("nbytes", 0))
+    if window_seconds is None:
+        window_seconds = (t_max - t_min) if t_max > t_min else 1.0
+    window_seconds = max(window_seconds, 1e-9)
+    report = SLOReport(window_seconds=window_seconds)
+    for tenant in sorted(counts):
+        lat = latencies.get(tenant, [])
+        report.per_tenant[tenant] = TenantReport(
+            tenant=tenant,
+            requests=counts[tenant],
+            demand_requests=demand_counts.get(tenant, 0),
+            bytes_moved=moved.get(tenant, 0),
+            p50_seconds=percentile(lat, 50.0),
+            p99_seconds=percentile(lat, 99.0),
+            goodput_bytes_per_s=moved.get(tenant, 0) / window_seconds,
+            throttle_seconds=throttled.get(tenant, 0.0),
+        )
+    _apply_fairness(report, weights or {})
+    return report
+
+
+def from_latencies(latencies: Mapping[str, List[float]],
+                   bytes_moved: Mapping[str, int],
+                   window_seconds: float,
+                   weights: Optional[Mapping[str, float]] = None
+                   ) -> SLOReport:
+    """Build a report straight from a replay's measurements (used when
+    the trace ring wrapped or tracing was off)."""
+    window_seconds = max(window_seconds, 1e-9)
+    report = SLOReport(window_seconds=window_seconds)
+    for tenant in sorted(set(latencies) | set(bytes_moved)):
+        lat = list(latencies.get(tenant, []))
+        report.per_tenant[tenant] = TenantReport(
+            tenant=tenant,
+            requests=len(lat),
+            demand_requests=len(lat),
+            bytes_moved=bytes_moved.get(tenant, 0),
+            p50_seconds=percentile(lat, 50.0),
+            p99_seconds=percentile(lat, 99.0),
+            goodput_bytes_per_s=bytes_moved.get(tenant, 0) / window_seconds,
+        )
+    _apply_fairness(report, weights or {})
+    return report
+
+
+def _apply_fairness(report: SLOReport,
+                    weights: Mapping[str, float]) -> None:
+    shares: List[float] = []
+    for tenant, r in report.per_tenant.items():
+        weight = float(weights.get(tenant, 1.0))
+        r.normalized_share = r.goodput_bytes_per_s / weight
+        shares.append(r.normalized_share)
+    if not shares:
+        return
+    total = sum(shares)
+    if total <= 0.0:
+        report.fairness_index = 1.0
+        report.starvation_index = 1.0
+        return
+    report.fairness_index = (total * total) \
+        / (len(shares) * sum(x * x for x in shares))
+    report.starvation_index = min(shares) / max(shares)

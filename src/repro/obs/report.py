@@ -20,14 +20,24 @@ __all__ = ["snapshot", "render_text", "write_snapshot"]
 
 def snapshot(metrics: Optional[MetricsRegistry] = None,
              trace: Optional[TraceRecorder] = None,
-             include_events: bool = True) -> Dict[str, object]:
-    """One plain-dict view of the registry and the trace ring."""
+             include_events: bool = True,
+             header: Optional[Dict[str, object]] = None
+             ) -> Dict[str, object]:
+    """One plain-dict view of the registry and the trace ring.
+
+    ``header`` — run provenance (scenario name, seed, quick flag, ...)
+    recorded verbatim under the snapshot's ``header`` key, so a stored
+    snapshot says *which* seeded run produced it.
+    """
     from repro import obs
     if metrics is None:
         obs.flush()  # publish lazily-accumulated deltas before reading
         metrics = obs.metrics()
     trace = trace if trace is not None else obs.trace()
-    out: Dict[str, object] = {"metrics": metrics.snapshot()}
+    out: Dict[str, object] = {}
+    if header:
+        out["header"] = dict(header)
+    out["metrics"] = metrics.snapshot()
     trace_section: Dict[str, object] = {
         "emitted": trace.emitted,
         "dropped": trace.dropped,
@@ -68,12 +78,13 @@ def render_text(snap: Optional[Dict[str, object]] = None) -> str:
 def write_snapshot(path: str,
                    metrics: Optional[MetricsRegistry] = None,
                    trace: Optional[TraceRecorder] = None,
-                   include_events: bool = True) -> str:
+                   include_events: bool = True,
+                   header: Optional[Dict[str, object]] = None) -> str:
     """Write a JSON snapshot; creates parent directories; returns path."""
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
-    snap = snapshot(metrics, trace, include_events)
+    snap = snapshot(metrics, trace, include_events, header=header)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(snap, fh, indent=2, sort_keys=True)
         fh.write("\n")

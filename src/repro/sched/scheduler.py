@@ -161,6 +161,15 @@ class TertiaryScheduler:
         self.volume_switches = 0
         self.aged_promotions = 0
         self.forced_writeouts = 0
+        #: Admission hooks, consulted (in order) before a *droppable*
+        #: background request is queued; any hook returning False
+        #: rejects it, counted with the queue-limit rejects.  Write-outs
+        #: bypass the hooks the same way they bypass the queue limit —
+        #: a staged line may never drop data.  The tenant front end
+        #: (``repro.frontend``) installs per-tenant queue-depth caps
+        #: here; see docs/SCHEDULING.md.
+        self.admission_hooks: List[
+            Callable[["TertiaryScheduler", Request], bool]] = []
         self.admission_rejects: Dict[str, int] = {c: 0
                                                   for c in REQUEST_CLASSES}
 
@@ -362,8 +371,10 @@ class TertiaryScheduler:
 
     def _enqueue(self, req: Request, admitted: bool = False) -> bool:
         limit = self.queue_limits.get(req.rclass)
-        if not admitted and limit is not None \
-                and self.queued(req.rclass) >= limit:
+        if not admitted and ((limit is not None
+                              and self.queued(req.rclass) >= limit)
+                             or not all(hook(self, req)
+                                        for hook in self.admission_hooks)):
             self.admission_rejects[req.rclass] += 1
             obs.counter("sched_admission_rejects_total",
                         "background requests rejected by queue-depth "

@@ -1,0 +1,29 @@
+"""HL015 fixture: raw data-plane I/O outside the Client (never imported)."""
+
+
+def bad_raw_datapath(fs, bed, node, actor, data):
+    fs.write_path("/u/a", data, actor=actor)            # finding: bare fs
+    img = fs.read_path("/u/a", actor=actor)             # finding: bare fs
+    bed.fs.write_path("/u/b", data, actor=actor)        # finding: testbed fs
+    got = bed.fs.read_path("/u/b", actor=actor)         # finding: testbed fs
+    node.fs.read_path("/obj/x", actor=actor)            # finding: shard fs
+    return img, got
+
+
+class Driver:
+    def __init__(self, fs):
+        self.fs = fs
+
+    def bad_method(self, actor, data):
+        return self.fs.read_path("/u/c", actor=actor)   # finding: self.fs
+
+
+def good_client_sessions(client, router, fs, actor, data):
+    handle = client.open(actor, "/u/a", tenant="t", create=True)
+    client.write(actor, handle, data)                   # ok: the Client
+    got = client.read(actor, handle)                    # ok: the Client
+    client.close(actor, handle)
+    router.write_path(actor, "/data/a.bin", data)       # ok: no fs link
+    size = fs.stat("/u/a").size                         # ok: control plane
+    fs.mkdir("/u/dir", actor=actor)                     # ok: namespace op
+    return got, size

@@ -32,6 +32,8 @@ from repro.analysis.rules.hl011_borrow_escape import HL011BorrowEscape
 from repro.analysis.rules.hl012_actor_discipline import HL012ActorDiscipline
 from repro.analysis.rules.hl013_transitive_clock import HL013TransitiveClock
 from repro.analysis.rules.hl014_cluster_locality import HL014ClusterLocality
+from repro.analysis.rules.hl015_frontend_discipline import (
+    HL015FrontendDiscipline)
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 
@@ -228,6 +230,21 @@ class TestRuleFixtures:
         result = analyze("hl014_cluster.py", [rule])
         assert result.findings == []
 
+    def test_hl015_frontend_discipline(self):
+        result = analyze("hl015_frontend.py", [HL015FrontendDiscipline()])
+        assert lines_of(result, "HL015") == [5, 6, 7, 8, 9, 18]
+
+    def test_hl015_client_sessions_stay_clean(self):
+        # Client handles, the router surface, and control-plane fs
+        # calls (stat/mkdir) never fire.
+        result = analyze("hl015_frontend.py", [HL015FrontendDiscipline()])
+        assert all(f.line <= 18 for f in result.findings)
+
+    def test_hl015_exempt_inside_adapters(self):
+        rule = HL015FrontendDiscipline(exempt=("hl015_frontend",))
+        result = analyze("hl015_frontend.py", [rule])
+        assert result.findings == []
+
 
 # ---------------------------------------------------------------------------
 # Suppression (# noqa) semantics
@@ -261,7 +278,7 @@ class TestNoqa:
 class TestFramework:
     def test_all_rules_have_distinct_codes_and_docs(self):
         codes = [r.code for r in ALL_RULES]
-        assert len(set(codes)) == len(codes) == 14
+        assert len(set(codes)) == len(codes) == 15
         for rule_cls in ALL_RULES:
             assert rule_cls.code.startswith("HL")
             assert rule_cls.name

@@ -13,7 +13,7 @@ from repro import obs
 from repro.cluster import (ClusterNode, ClusterRouter, EV_ROUTE_DISPATCH,
                            EV_SHARD_MIGRATE, MigrationCoordinator,
                            cluster_rollup, extent_key)
-from repro.errors import FileNotFound, InvalidArgument
+from repro.errors import FileNotFound, HandleClosed, InvalidArgument
 from repro.sim.actor import Actor
 from repro.util.units import MB
 
@@ -59,7 +59,8 @@ class TestRouterRoundTrip:
         # A sub-extent overwrite straddling the stripe boundary.
         patch = payload(3, 64 * 1024)
         off = 1 * MB - 1000
-        fd = router.open(client, "/f")
+        with pytest.warns(DeprecationWarning):
+            fd = router.open(client, "/f")
         router.write(client, fd, off, patch)
         model[off:off + len(patch)] = patch
         assert router.read(client, fd, 0) == bytes(model)
@@ -70,12 +71,30 @@ class TestRouterRoundTrip:
     def test_session_errors(self):
         router, _nodes = make_cluster(1)
         client = Actor("client")
-        with pytest.raises(FileNotFound):
+        with pytest.warns(DeprecationWarning), pytest.raises(FileNotFound):
             router.open(client, "/missing")
-        with pytest.raises(InvalidArgument):
+        # Sessions are the shared frontend implementation now: a stale
+        # fd raises the typed HandleClosed, not EINVAL.
+        with pytest.raises(HandleClosed):
             router.read(client, 99, 0)
         with pytest.raises(InvalidArgument):
             ClusterRouter([], seed=0)
+
+    def test_sessions_are_shared_frontend_objects(self):
+        # One session implementation, two surfaces: the router's legacy
+        # fd table stores repro.frontend FileSession records.
+        from repro.frontend.session import FileSession
+        router, _nodes = make_cluster(1)
+        client = Actor("client")
+        router.namespace["/f"] = 0
+        with pytest.warns(DeprecationWarning):
+            fd = router.open(client, "/f")
+        sess = router.sessions.get(fd)
+        assert isinstance(sess, FileSession)
+        assert sess.owner == "client"
+        router.close(client, fd)
+        with pytest.raises(HandleClosed):
+            router.close(client, fd)
 
     def test_demand_reads_after_migration(self):
         router, _nodes = make_cluster(2)

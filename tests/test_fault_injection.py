@@ -11,6 +11,7 @@ from repro.core.highlight import HighLightFS
 from repro.core.migrator import Migrator
 from repro.core.replicas import ReplicaManager
 from repro.errors import MediaFailure, ReadOnlyMedium
+from repro.faults import VolumeHealth
 from repro.footprint.robot import JukeboxFootprint
 from repro.sim.actor import Actor
 from repro.util.units import KB, MB
@@ -31,7 +32,7 @@ class TestMediaFailure:
         bed.migrator.flush()
         bed.fs.service.flush_cache(bed.app)
         bed.fs.drop_caches(drop_inodes=True)
-        bed.jukebox.volumes[0].failed = True
+        bed.jukebox.volumes[0].health = VolumeHealth.QUARANTINED
         with pytest.raises(MediaFailure):
             bed.fs.read_path("/precious")
 
@@ -44,7 +45,7 @@ class TestMediaFailure:
         bed.fs.service.flush_cache(bed.app)
         bed.fs.drop_caches(drop_inodes=True)
         # The primary volume dies; the replica (on another volume) serves.
-        bed.jukebox.volumes[0].failed = True
+        bed.jukebox.volumes[0].health = VolumeHealth.QUARANTINED
         assert bed.fs.read_path("/precious") == payload
         assert manager.replica_reads >= 1
 
@@ -53,7 +54,7 @@ class TestMediaFailure:
         bed.migrator.migrate_file("/precious")
         bed.migrator.flush()
         # Lines still cached: the tertiary copy is never touched.
-        bed.jukebox.volumes[0].failed = True
+        bed.jukebox.volumes[0].health = VolumeHealth.QUARANTINED
         assert bed.fs.read_path("/precious") == payload
 
 

@@ -44,15 +44,17 @@ class TestVolumeHealth:
         assert not VolumeHealth.QUARANTINED.serving
         assert not VolumeHealth.RETIRED.serving
 
-    def test_failed_alias_round_trips(self):
+    def test_failed_alias_is_gone(self):
+        # The PR 5 transitional ``Volume.failed`` bool was removed once
+        # every caller read the health enum; it must not quietly return.
         bed = HLBed()
         vol = next(iter(bed.jukebox.volumes.values()))
         assert vol.health is VolumeHealth.ONLINE
-        assert vol.failed is False
-        vol.failed = True          # deprecated writers still work
-        assert vol.health is VolumeHealth.QUARANTINED
-        vol.failed = False
-        assert vol.health is VolumeHealth.ONLINE
+        assert not hasattr(type(vol), "failed")
+        vol.health = VolumeHealth.QUARANTINED
+        assert not vol.health.serving
+        vol.health = VolumeHealth.ONLINE
+        assert vol.health.serving
 
     def test_volume_info_surfaces_health(self):
         bed = HLBed()

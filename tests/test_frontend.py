@@ -1,0 +1,495 @@
+"""The multi-tenant session front end: admission, fairness, lifecycle.
+
+Covers the ISSUE-10 property checklist: token-bucket refill is a pure
+function of the virtual clock, handle lifecycle errors are typed
+``ReproError`` subclasses, an adversarial flooding tenant cannot push
+another tenant's demand p99 past the scenario gate, and the same
+workload script runs on both backends.
+"""
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.bench import harness
+from repro.cluster import ClusterNode, ClusterRouter
+from repro.core.highlight import HighLightConfig
+from repro.errors import (AdmissionRejected, FileNotFound, HandleClosed,
+                          ReproError, UnknownTenant)
+from repro.frontend import (Client, TenantBudget, load, open_cluster,
+                            open_node, slo)
+from repro.frontend.session import TokenBucket
+from repro.sched import CLASS_WRITEOUT, MODE_SCHEDULED
+from repro.sim.actor import Actor
+from repro.util.units import KB, MB
+
+
+def _bed(**kwargs):
+    kwargs.setdefault("partition_bytes", 64 * MB)
+    kwargs.setdefault("n_platters", 6)
+    kwargs.setdefault("platter_constraint", 4 * MB)
+    bed = harness.make_highlight(**kwargs)
+    harness.preload_write_volume(bed)
+    return bed
+
+
+def _node_client(**kwargs):
+    bed = _bed(**kwargs)
+    return open_node(bed), bed
+
+
+# -- token bucket ------------------------------------------------------------
+
+
+def test_token_bucket_refill_is_pure_function_of_clock():
+    a = TokenBucket(rate=1000.0, burst=4000.0)
+    b = TokenBucket(rate=1000.0, burst=4000.0)
+    # Identical call sequences at identical virtual times agree exactly.
+    for now, nbytes in [(0.0, 2000), (1.0, 3000), (1.5, 500),
+                        (10.0, 4000), (10.0, 100)]:
+        da = a.delay(now, nbytes)
+        db = b.delay(now, nbytes)
+        assert da == db
+        a.take(now + da, nbytes)
+        b.take(now + db, nbytes)
+    assert a.tokens == b.tokens
+    assert a.stamp == b.stamp
+
+
+def test_token_bucket_paces_to_rate():
+    bucket = TokenBucket(rate=1000.0, burst=1000.0)
+    bucket.take(0.0, 1000)  # drain the initial burst
+    # From empty, 1000 bytes need exactly one second of refill.
+    assert bucket.delay(0.0, 1000) == pytest.approx(1.0)
+    assert bucket.delay(0.5, 1000) == pytest.approx(0.5)
+    assert bucket.delay(1.0, 1000) == pytest.approx(0.0)
+
+
+def test_token_bucket_oversized_request_runs_debt_not_deadlock():
+    bucket = TokenBucket(rate=100.0, burst=1000.0)
+    # A transfer larger than the burst waits only until the bucket is
+    # full, then runs it into debt.
+    wait = bucket.delay(0.0, 5000)
+    assert wait == pytest.approx(0.0)  # bucket starts full
+    bucket.take(0.0, 5000)
+    assert bucket.tokens == pytest.approx(-4000.0)
+    # The next request pays the debt off: 4100 bytes of refill at
+    # 100 B/s before even 100 bytes may pass.
+    assert bucket.delay(0.0, 100) == pytest.approx(41.0)
+
+
+def test_token_bucket_rejects_nonpositive_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=100.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=100.0, burst=-1.0)
+
+
+def test_admission_wait_is_deterministic_in_virtual_time():
+    """Two identical beds replaying the same paced writes throttle at
+    identical virtual timestamps."""
+    stamps = []
+    for _ in range(2):
+        client, bed = _node_client()
+        client.tenant("slow", TenantBudget(rate_bytes_per_s=64 * KB,
+                                           burst_bytes=64 * KB))
+        app = bed.app
+        handle = client.open(app, "/paced.bin", tenant="slow", create=True)
+        for i in range(4):
+            client.write(app, handle, b"x" * (64 * KB), i * 64 * KB)
+        client.close(app, handle)
+        stamps.append((app.time, client.tenant("slow").throttle_seconds))
+    assert stamps[0] == stamps[1]
+    assert stamps[0][1] > 0.0  # the bucket actually engaged
+
+
+# -- handle lifecycle --------------------------------------------------------
+
+
+def test_handle_round_trip_and_stat():
+    client, bed = _node_client()
+    app = bed.app
+    handle = client.open(app, "/data/a.bin", create=True)
+    payload = b"front-end payload " * 1024
+    assert client.write(app, handle, payload) == len(payload)
+    assert client.read(app, handle) == payload
+    stat = handle.stat(app)
+    assert stat.path == "/data/a.bin"
+    assert stat.size == len(payload)
+    client.close(app, handle)
+
+
+def test_double_close_raises_typed_error():
+    client, bed = _node_client()
+    handle = client.open(bed.app, "/x", create=True)
+    client.close(bed.app, handle)
+    with pytest.raises(HandleClosed):
+        client.close(bed.app, handle)
+    assert issubclass(HandleClosed, ReproError)
+
+
+def test_read_after_close_raises_typed_error():
+    client, bed = _node_client()
+    handle = client.open(bed.app, "/x", create=True)
+    client.write(bed.app, handle, b"abc")
+    client.close(bed.app, handle)
+    with pytest.raises(HandleClosed):
+        client.read(bed.app, handle)
+    with pytest.raises(HandleClosed):
+        client.write(bed.app, handle, b"more")
+
+
+def test_stale_fd_raises_typed_error():
+    client, bed = _node_client()
+    handle = client.open(bed.app, "/x", create=True)
+    fd = handle.fd
+    client.close(bed.app, handle)
+    with pytest.raises(HandleClosed):
+        client.read(bed.app, fd)
+
+
+def test_open_missing_file_raises_file_not_found():
+    client, bed = _node_client()
+    with pytest.raises(FileNotFound):
+        client.open(bed.app, "/no/such/file")
+
+
+def test_unknown_tenant_raises_typed_error():
+    client, bed = _node_client()
+    with pytest.raises(UnknownTenant):
+        client.open(bed.app, "/x", tenant="nobody", create=True)
+    assert issubclass(UnknownTenant, ReproError)
+
+
+def test_open_handle_cap_rejects():
+    client, bed = _node_client()
+    client.tenant("capped", TenantBudget(max_open_handles=2))
+    h1 = client.open(bed.app, "/a", tenant="capped", create=True)
+    client.open(bed.app, "/b", tenant="capped", create=True)
+    with pytest.raises(AdmissionRejected):
+        client.open(bed.app, "/c", tenant="capped", create=True)
+    client.close(bed.app, h1)
+    client.open(bed.app, "/c", tenant="capped", create=True)  # freed
+
+
+# -- the data path end to end ------------------------------------------------
+
+
+def test_migrate_and_demand_fetch_round_trip():
+    config = HighLightConfig(sched_mode=MODE_SCHEDULED)
+    client, bed = _node_client(config=config)
+    app = bed.app
+    payload = bytes((i * 7) & 0xFF for i in range(MB))
+    handle = client.open(app, "/archive/cold.bin", create=True)
+    client.write(app, handle, payload)
+    client.migrate(app, handle)
+    client.flush(app)
+    client.drop_caches(app)
+    assert client.read(app, handle) == payload  # demand fetch
+    client.close(app, handle)
+    assert bed.fs.stats.demand_fetches > 0
+
+
+def test_prefetch_submits_segments():
+    config = HighLightConfig(sched_mode=MODE_SCHEDULED)
+    client, bed = _node_client(config=config)
+    app = bed.app
+    handle = client.open(app, "/archive/warm.bin", create=True)
+    client.write(app, handle, b"w" * MB)
+    client.close(app, handle)
+    client.migrate(app, "/archive/warm.bin")
+    client.flush(app)
+    client.drop_caches(app)
+    submitted = client.prefetch(app, "/archive/warm.bin")
+    assert submitted > 0
+
+
+def test_same_workload_script_runs_on_both_backends():
+    """The acceptance-criterion property: one generated request stream,
+    two topologies, zero corruption and every request completed."""
+    paths = tuple(f"/data/f{i}.bin" for i in range(3))
+    spec = load.WorkloadSpec(
+        seed=42,
+        mixes=(load.TenantMix(tenant="t", paths=paths,
+                              request_bytes=16 * KB),),
+        n_clients=100, duration=120.0, mean_interarrival=1_000.0,
+        max_requests=12)
+    requests = load.generate(spec)
+    assert requests
+
+    payloads = {p: f"payload {p}".encode() * 4096 for p in paths}
+    results = []
+    for make in ("node", "cluster"):
+        if make == "node":
+            client, bed = _node_client()
+            actor = bed.app
+        else:
+            nodes = [ClusterNode(i, n_platters=6, platter_bytes=4 * MB)
+                     for i in range(2)]
+            client = open_cluster(ClusterRouter(nodes, seed=7))
+            actor = Actor("cluster-loader")
+        client.tenant("t", TenantBudget())
+        for p, data in payloads.items():
+            handle = client.open(actor, p, tenant="t", create=True)
+            client.write(actor, handle, data)
+            client.close(actor, handle)
+        result = load.replay(client, requests,
+                             verify={p: d for p, d in payloads.items()})
+        results.append(result)
+    for result in results:
+        assert result.corrupt == 0
+        assert len(result.all_latencies("t")) == len(requests)
+    assert [len(r.all_latencies("t")) for r in results[: 1]] == \
+           [len(r.all_latencies("t")) for r in results[1:]]
+
+
+# -- adversarial flooding ----------------------------------------------------
+
+
+def _flood_bed():
+    config = HighLightConfig(sched_mode=MODE_SCHEDULED)
+    bed = _bed(n_platters=12, config=config)
+    client = open_node(bed)
+    client.tenant("victim", TenantBudget())
+    client.tenant("flood", TenantBudget(
+        qos_class=CLASS_WRITEOUT, rate_bytes_per_s=256 * KB,
+        burst_bytes=MB, max_queued=2, weight=4.0))
+    app = bed.app
+    payload = b"v" * MB
+    handle = client.open(app, "/cold/victim.bin", tenant="victim",
+                         create=True)
+    client.write(app, handle, payload)
+    client.close(app, handle)
+    client.migrate(app, "/cold/victim.bin", tenant="victim")
+    client.flush(app)
+    client.drop_caches(app)
+    return client, bed, payload
+
+
+def test_flooding_tenant_pays_its_own_writeout_backlog():
+    """``max_queued`` drains on the *flooder's* actor: after every
+    migrate the write-out queue is back at or under the cap."""
+    client, bed, _ = _flood_bed()
+    app = bed.app
+    for i in range(3):
+        path = f"/bulk/flood{i}.bin"
+        handle = client.open(app, path, tenant="flood", create=True)
+        client.write(app, handle, b"f" * MB)
+        client.close(app, handle)
+        client.migrate(app, path, tenant="flood")
+        assert client.backend.queued_writeouts() <= 2
+    assert client.tenant("flood").throttle_seconds > 0.0
+
+
+def test_flood_cannot_blow_victim_demand_p99_past_gate():
+    """A flooding batch tenant leaves the victim's demand read within
+    the scenario-shaped bound: solo latency plus one robot exchange
+    plus one in-flight write-out (the non-preemptible residue)."""
+    # Solo baseline: one cold demand read, no competition.
+    client, bed, payload = _flood_bed()
+    app = bed.app
+    t0 = app.time
+    handle = client.open(app, "/cold/victim.bin", tenant="victim")
+    assert client.read(app, handle) == payload
+    client.close(app, handle)
+    solo = app.time - t0
+
+    # Fresh bed; flood first, then the same demand read.
+    client, bed, payload = _flood_bed()
+    app = bed.app
+    for i in range(3):
+        path = f"/bulk/flood{i}.bin"
+        handle = client.open(app, path, tenant="flood", create=True)
+        client.write(app, handle, b"f" * MB)
+        client.close(app, handle)
+        client.migrate(app, path, tenant="flood")
+    t0 = app.time
+    handle = client.open(app, "/cold/victim.bin", tenant="victim")
+    assert client.read(app, handle) == payload
+    client.close(app, handle)
+    contended = app.time - t0
+
+    # One media exchange (13.5 s) + one non-preemptible in-flight
+    # write-out (~20 s worst case) is the irreducible interference.
+    assert contended <= 2.0 * solo + 35.0
+
+
+def test_prefetch_flood_rejected_by_queue_depth():
+    """A tenant with a shallow queue tolerance gets AdmissionRejected
+    when it tries to stack prefetches behind its own backlog."""
+    config = HighLightConfig(sched_mode=MODE_SCHEDULED)
+    bed = _bed(n_platters=12, config=config)
+    client = open_node(bed)
+    client.tenant("greedy", TenantBudget(max_queued=0))
+    app = bed.app
+    for i in range(2):
+        path = f"/bulk/g{i}.bin"
+        handle = client.open(app, path, tenant="greedy", create=True)
+        client.write(app, handle, b"g" * MB)
+        client.close(app, handle)
+    # Stage both, sealing write-outs into the queue, without pumping.
+    bed.migrator.migrate_file("/bulk/g0.bin", app, unit_tag="/bulk/g0.bin")
+    bed.migrator.migrate_file("/bulk/g1.bin", app, unit_tag="/bulk/g1.bin")
+    bed.migrator.flush(app)
+    assert bed.fs.sched.queued(CLASS_WRITEOUT) > 0
+    with pytest.raises(AdmissionRejected):
+        client.prefetch(app, "/bulk/g0.bin", tenant="greedy")
+
+
+# -- the workload generator --------------------------------------------------
+
+
+def _spec(seed=1234, **kwargs):
+    kwargs.setdefault("n_clients", 1_000)
+    kwargs.setdefault("duration", 300.0)
+    kwargs.setdefault("mean_interarrival", 5_000.0)
+    return load.WorkloadSpec(
+        seed=seed,
+        mixes=(load.TenantMix(tenant="a", share=0.7,
+                              paths=("/p0", "/p1", "/p2", "/p3")),
+               load.TenantMix(tenant="b", share=0.3, read_fraction=0.0,
+                              paths=("/q0", "/q1"))),
+        **kwargs)
+
+
+def test_generator_is_deterministic_per_seed():
+    first = load.generate(_spec(seed=99))
+    second = load.generate(_spec(seed=99))
+    other = load.generate(_spec(seed=100))
+    assert first == second
+    assert first != other
+
+
+def test_generator_respects_window_and_cap():
+    reqs = load.generate(_spec(max_requests=17))
+    assert len(reqs) <= 17
+    assert all(0.0 <= r.t <= 300.0 for r in reqs)
+    assert all(r.t <= nxt.t for r, nxt in zip(reqs, reqs[1:]))
+
+
+def test_generator_zipf_prefers_hot_ranks():
+    reqs = load.generate(_spec(duration=3_000.0, zipf_s=1.3))
+    counts = {}
+    for r in reqs:
+        if r.tenant == "a":
+            counts[r.path] = counts.get(r.path, 0) + 1
+    assert counts.get("/p0", 0) > counts.get("/p3", 0)
+
+
+def test_generator_tenant_mix_shares():
+    reqs = load.generate(_spec(duration=3_000.0))
+    a = sum(1 for r in reqs if r.tenant == "a")
+    b = sum(1 for r in reqs if r.tenant == "b")
+    assert a > b  # 0.7 vs 0.3 share
+    assert all(r.op == "write" for r in reqs if r.tenant == "b")
+
+
+def test_diurnal_rate_modulation():
+    spec = _spec(diurnal_amplitude=0.5, diurnal_period=400.0)
+    assert spec.rate_at(100.0) == pytest.approx(1.5 * spec.base_rate())
+    assert spec.rate_at(300.0) == pytest.approx(0.5 * spec.base_rate())
+
+
+# -- the SLO engine ----------------------------------------------------------
+
+
+def test_percentile_interpolates():
+    assert slo.percentile([], 99) == 0.0
+    assert slo.percentile([5.0], 50) == 5.0
+    assert slo.percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+    assert slo.percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+
+
+def test_fairness_index_jain():
+    report = slo.from_latencies(
+        {"a": [0.1], "b": [0.1]}, {"a": 1000, "b": 1000}, 10.0)
+    assert report.fairness_index == pytest.approx(1.0)
+    assert report.starvation_index == pytest.approx(1.0)
+    lopsided = slo.from_latencies(
+        {"a": [0.1], "b": [0.1]}, {"a": 10_000, "b": 0}, 10.0)
+    assert lopsided.fairness_index == pytest.approx(0.5)
+    assert lopsided.starvation_index == 0.0
+
+
+def test_fairness_normalizes_by_weight():
+    """A bulk tenant moving 4x the bytes at 4x the weight is *fair*."""
+    report = slo.from_latencies(
+        {"a": [0.1], "b": [0.1]}, {"a": 1000, "b": 4000}, 10.0,
+        weights={"a": 1.0, "b": 4.0})
+    assert report.fairness_index == pytest.approx(1.0)
+
+
+def test_slo_report_from_trace_events():
+    obs.reset()
+    client, bed = _node_client()
+    app = bed.app
+    handle = client.open(app, "/t.bin", create=True)
+    client.write(app, handle, b"z" * (64 * KB))
+    client.read(app, handle)
+    client.close(app, handle)
+    report = slo.evaluate(obs.trace().events())
+    tenant = report.tenant("default")
+    assert tenant.requests == 2
+    assert tenant.bytes_moved == 2 * 64 * KB
+    assert "default" in report.render()
+
+
+# -- snapshot header plumbing ------------------------------------------------
+
+
+def test_snapshot_header_recorded(tmp_path):
+    obs.reset()
+    path = harness.dump_observability(
+        "header_probe", out_dir=str(tmp_path),
+        header={"scenario": "frontend", "seed": 1993, "quick": True})
+    with open(path, encoding="utf-8") as fh:
+        snap = json.load(fh)
+    assert snap["header"] == {"scenario": "frontend", "seed": 1993,
+                              "quick": True}
+    assert "metrics" in snap
+
+
+def test_snapshot_without_header_unchanged(tmp_path):
+    obs.reset()
+    path = harness.dump_observability("no_header", out_dir=str(tmp_path))
+    with open(path, encoding="utf-8") as fh:
+        snap = json.load(fh)
+    assert "header" not in snap
+
+
+# -- deprecated legacy surfaces ----------------------------------------------
+
+
+def test_router_open_warns_deprecation():
+    nodes = [ClusterNode(0, n_platters=4, platter_bytes=4 * MB)]
+    router = ClusterRouter(nodes, seed=3)
+    actor = Actor("legacy")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fd = router.open(actor, "/legacy.bin", create=True)
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    router.close(actor, fd)
+    with pytest.raises(HandleClosed):
+        router.close(actor, fd)  # shared session semantics
+
+
+def test_router_uses_frontend_session_objects():
+    """One session implementation, two surfaces: the router's legacy fd
+    API is backed by the same ``FileSession``/``SessionTable`` machinery
+    the Client uses, so lifecycle errors are the same typed exceptions."""
+    from repro.frontend.session import FileSession, SessionTable
+
+    nodes = [ClusterNode(0, n_platters=4, platter_bytes=4 * MB)]
+    router = ClusterRouter(nodes, seed=3)
+    actor = Actor("legacy")
+    assert isinstance(router.sessions, SessionTable)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        fd = router.open(actor, "/legacy2.bin", create=True)
+    assert fd in router.sessions
+    assert isinstance(router.sessions.get(fd), FileSession)
+    router.close(actor, fd)
+    assert fd not in router.sessions
